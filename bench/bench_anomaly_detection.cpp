@@ -1,0 +1,141 @@
+// E4 — Silent-failure detection: heartbeat mesh vs today's coarse counters
+// (paper §3.1's motivating case: "a hardware failure occurring on the PCIe
+// switch may silently cause the connected PCIe device to suffer performance
+// degradation ... cannot be easily detected using performance counters
+// only"). Sweeps fault severity and reports detection latency and
+// localization rank for each approach.
+
+#include <optional>
+
+#include "bench/bench_util.h"
+#include "src/anomaly/bank.h"
+#include "src/core/host_network.h"
+#include "src/workload/sources.h"
+
+namespace {
+
+using namespace mihn;
+
+struct Case {
+  const char* label;
+  fabric::LinkFault fault;
+};
+
+struct Outcome {
+  std::optional<sim::TimeNs> mesh_detect_after;
+  int mesh_rank = -1;  // Rank of the true link among suspects (1 = best).
+  std::optional<sim::TimeNs> coarse_detect_after;
+};
+
+Outcome RunCase(const fabric::LinkFault& fault) {
+  HostNetwork::Options options;
+  options.start_manager = false;
+  options.start_collector = false;
+  HostNetwork host(options);
+  const auto& server = host.server();
+
+  // Light background load (8 GB/s of ~29) so a capacity fault congests the
+  // link but aggregate utilization counters move only modestly.
+  workload::StreamSource::Config bulk;
+  bulk.src = server.ssds[0];
+  bulk.dst = server.dimms[0];
+  bulk.demand = sim::Bandwidth::GBps(8);
+  workload::StreamSource stream(host.fabric(), bulk);
+  stream.Start();
+
+  // Approach A: the paper's heartbeat mesh, 1 ms period.
+  anomaly::HeartbeatMesh::Config mesh_config;
+  mesh_config.period = sim::TimeNs::Millis(1);
+  mesh_config.degradation_factor = 1.5;
+  auto mesh = host.MakeHeartbeatMesh(mesh_config);
+  mesh->Start();
+
+  // Approach B: PCM-style coarse counters — aggregate link utilization at
+  // the 100 ms hardware floor, watched by an EWMA detector per link.
+  telemetry::Collector::Config coarse_config;
+  coarse_config.granularity = telemetry::Granularity::kCoarse;
+  coarse_config.period = sim::TimeNs::Millis(100);
+  telemetry::Collector coarse(host.fabric(), coarse_config);
+  coarse.Start();
+  anomaly::DetectorBank bank;
+  for (const topology::Link& link : host.topo().links()) {
+    for (const bool forward : {true, false}) {
+      bank.Attach(telemetry::Collector::LinkUtilKey(link.id, forward),
+                  std::make_unique<anomaly::EwmaDetector>(0.2, 6.0, 4));
+    }
+  }
+
+  const sim::TimeNs baseline = sim::TimeNs::Seconds(2);
+  host.RunFor(baseline);
+  bank.Scan(coarse);  // Warm the detectors on the healthy baseline.
+
+  const auto victim_path = *host.fabric().Route(server.ssds[0], server.dimms[0]);
+  const topology::LinkId bad_link = victim_path.hops[1].link;  // Switch uplink.
+  host.fabric().InjectLinkFault(bad_link, fault);
+
+  Outcome outcome;
+  std::optional<sim::TimeNs> coarse_at;
+  for (int step = 0; step < 100; ++step) {
+    host.RunFor(sim::TimeNs::Millis(100));
+    if (!coarse_at && !bank.Scan(coarse).empty()) {
+      coarse_at = host.Now();
+    }
+    if (mesh->first_alarm_at() && coarse_at) {
+      break;
+    }
+  }
+  if (mesh->first_alarm_at()) {
+    outcome.mesh_detect_after = *mesh->first_alarm_at() - baseline;
+    const auto suspects = mesh->LocalizeFaults();
+    for (size_t i = 0; i < suspects.size(); ++i) {
+      if (suspects[i].link == bad_link) {
+        outcome.mesh_rank = static_cast<int>(i) + 1;
+        break;
+      }
+    }
+  }
+  if (coarse_at) {
+    outcome.coarse_detect_after = *coarse_at - baseline;
+  }
+  return outcome;
+}
+
+std::string Render(const std::optional<sim::TimeNs>& t) {
+  return t ? t->ToString() : "undetected";
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("E4: silent PCIe-switch fault detection",
+                "heartbeat mesh (1ms probes) vs coarse aggregate counters (100ms, "
+                "EWMA) under injected silent faults on a loaded switch uplink");
+
+  const Case cases[] = {
+      {"latency +0.5us", {1.0, sim::TimeNs::Nanos(500)}},
+      {"latency +2us", {1.0, sim::TimeNs::Micros(2)}},
+      {"latency +5us", {1.0, sim::TimeNs::Micros(5)}},
+      {"capacity 70%", {0.7, sim::TimeNs::Zero()}},
+      {"capacity 50%", {0.5, sim::TimeNs::Zero()}},
+      {"capacity 25%", {0.25, sim::TimeNs::Zero()}},
+  };
+
+  bench::Table table({{"fault", 16},
+                      {"mesh detect", 13},
+                      {"mesh locates link (rank)", 26},
+                      {"coarse counters detect", 24}});
+  for (const Case& c : cases) {
+    const Outcome outcome = RunCase(c.fault);
+    table.Row({c.label, Render(outcome.mesh_detect_after),
+               outcome.mesh_rank > 0 ? bench::Fmt("yes (#%d)", outcome.mesh_rank) : "no",
+               Render(outcome.coarse_detect_after)});
+  }
+  std::printf("\nexpected shape: latency faults are invisible to utilization counters but\n"
+              "the mesh flags them within 1-2 probe periods and localizes to the faulted\n"
+              "link (tied with its same-coverage sibling, hence rank #2 — inherent\n"
+              "tomography ambiguity). Severe capacity faults congest the link and trip\n"
+              "the mesh too; mild ones only shift utilization, which the counters see\n"
+              "100x more slowly and cannot localize. The two data sources are\n"
+              "complementary — the paper's Q1 granularity question, quantified.\n");
+  return 0;
+}

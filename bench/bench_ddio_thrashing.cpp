@@ -1,0 +1,89 @@
+// E3 — DDIO cache thrashing (paper §2): two high-bandwidth I/O writers
+// overflow the DDIO LLC ways; evictions amplify memory-bus traffic and a
+// victim reading from the same memory controller suffers. Sweeps the
+// number of DDIO ways.
+
+#include "bench/bench_util.h"
+#include "src/core/host_network.h"
+#include "src/workload/sources.h"
+
+int main() {
+  using namespace mihn;
+  bench::Banner("E3: DDIO thrashing vs way count",
+                "two elastic DDIO writers (NIC + SSD) into one socket; victim stream on "
+                "the shared memory bus; sweep ddio_ways (0 = DDIO disabled)");
+
+  bench::Table table({{"ddio ways", 11},
+                      {"hit rate", 10},
+                      {"spill GB/s", 12},
+                      {"mem-bus util", 14},
+                      {"victim GB/s", 13},
+                      {"amplification", 14}});
+
+  for (const int ways : {0, 1, 2, 4, 8, 16}) {
+    // Single memory controller so all spill and the victim share one bus;
+    // 40 GB/s bus so the contest is visible.
+    topology::ServerSpec spec;
+    spec.sockets = 1;
+    spec.memory_controllers_per_socket = 1;
+    spec.dimms_per_controller = 1;
+    // Three root ports: one per writer, one for the victim, so the only
+    // shared resource is the memory bus the spill lands on.
+    spec.root_ports_per_socket = 3;
+    spec.intra_socket.capacity = sim::Bandwidth::GBps(40);
+    HostNetwork::Options options;
+    options.start_collector = false;
+    options.start_manager = false;
+    options.fabric.ddio_enabled = ways > 0;
+    options.fabric.ddio_ways = std::max(ways, 1);
+    options.fabric.way_bytes = 256 * 1024;
+    HostNetwork host(topology::BuildServer(spec), options);
+    const auto& server = host.server();
+    const topology::ComponentId socket = server.sockets[0];
+
+    // Victim: a GPU on its own root port checkpointing to memory — same
+    // direction (socket -> memory controller) as the spill traffic.
+    workload::StreamSource::Config victim_config;
+    victim_config.src = server.gpus[2];
+    victim_config.dst = server.dimms[0];
+    victim_config.tenant = 1;
+    workload::StreamSource victim(host.fabric(), victim_config);
+    victim.Start();
+
+    // Two elastic DDIO writers from different root ports.
+    workload::StreamSource::Config w1;
+    w1.src = server.nics[0];
+    w1.dst = socket;
+    w1.ddio_write = true;
+    w1.tenant = 2;
+    workload::StreamSource writer1(host.fabric(), w1);
+    writer1.Start();
+    workload::StreamSource::Config w2;
+    w2.src = server.ssds[1];  // On the second root port.
+    w2.dst = socket;
+    w2.ddio_write = true;
+    w2.tenant = 3;
+    workload::StreamSource writer2(host.fabric(), w2);
+    writer2.Start();
+
+    host.RunFor(sim::TimeNs::Millis(10));
+    const auto stats = host.fabric().CacheStats(socket);
+    // Memory-bus utilization: the socket->mc hop of the victim... use the
+    // inbound (socket->mc) direction that spill traffic crosses.
+    const auto mem_path = *host.fabric().Route(socket, server.dimms[0]);
+    const double mem_util = host.fabric().Utilization(mem_path.hops[0]);
+
+    table.Row({ways == 0 ? "disabled" : bench::Fmt("%d", ways),
+               bench::Fmt("%.0f%%", stats.hit_rate * 100.0),
+               bench::Fmt("%.1f", stats.spill_rate_bps / 1e9),
+               bench::Fmt("%.0f%%", mem_util * 100.0),
+               bench::Fmt("%.1f", victim.AchievedRate().ToGBps()),
+               bench::Fmt("%.2f", stats.AmplificationFactor())});
+  }
+  std::printf("\nexpected shape: with DDIO off or few ways, most I/O writes spill to the\n"
+              "memory bus (amplification -> 1) and congest it; enough ways absorb the\n"
+              "working set, spill vanishes, and the victim recovers. Mirrors the paper's\n"
+              "\"cache thrashing ... leads to more consumption of the intra-host network\n"
+              "resources\" narrative quantitatively.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// E9 — Diagnostic-tool accuracy (paper §3.1's ping/traceroute/iperf
+// analogues): hosttrace per-hop sums must equal the ground-truth path
+// latency, and hostperf's measured bandwidth must match the analytic
+// max-min prediction as competing flows are added.
+
+#include "bench/bench_util.h"
+#include "src/core/host_network.h"
+#include "src/diagnose/tools.h"
+
+int main() {
+  using namespace mihn;
+  bench::Banner("E9: diagnostic tool accuracy",
+                "hosttrace vs ground truth; hostperf vs analytic max-min under k "
+                "competing flows");
+
+  HostNetwork::Options options;
+  options.start_collector = false;
+  options.start_manager = false;
+  HostNetwork host(options);
+  const auto& server = host.server();
+
+  // --- hosttrace: per-hop decomposition equals the fabric's own probe. ---
+  bench::Table trace_table(
+      {{"path", 26}, {"hops", 6}, {"sum of hops", 13}, {"ground truth", 14}, {"match", 7}});
+  struct Pair {
+    const char* label;
+    topology::ComponentId src, dst;
+  };
+  const Pair pairs[] = {
+      {"remote0 -> dimm0", server.external_hosts[0], server.dimms[0]},
+      {"gpu0 -> ssd3", server.gpus[0], server.ssds[3]},
+      {"nic0 -> gpu0", server.nics[0], server.gpus[0]},
+  };
+  for (const Pair& p : pairs) {
+    const auto trace = diagnose::Trace(host.fabric(), p.src, p.dst);
+    const auto truth = host.fabric().ProbePathLatency(trace.path);
+    trace_table.Row({p.label, bench::Fmt("%zu", trace.hops.size()),
+                     trace.total_current.ToString(), truth.ToString(),
+                     trace.total_current == truth ? "exact" : "MISMATCH"});
+  }
+
+  // --- hostperf vs analytic max-min. ---
+  // k competing elastic flows on the probe's bottleneck: the probe (one
+  // more elastic flow) should measure capacity / (k + 1).
+  std::printf("\n");
+  bench::Table perf_table({{"competitors", 13},
+                           {"analytic GB/s", 15},
+                           {"hostperf GB/s", 15},
+                           {"error", 8}});
+  const auto probe_path = *host.fabric().Route(server.ssds[0], server.dimms[0]);
+  const double cap = host.fabric().EffectiveCapacity(probe_path.hops[0]).ToGBps();
+  std::vector<fabric::FlowId> competitors;
+  for (int k = 0; k <= 4; ++k) {
+    const double analytic = cap / (k + 1);
+    const auto perf = diagnose::PerfNow(host.fabric(), server.ssds[0], server.dimms[0]);
+    const double measured = perf.initial_rate.ToGBps();
+    perf_table.Row({bench::Fmt("%d", k), bench::Fmt("%.2f", analytic),
+                    bench::Fmt("%.2f", measured),
+                    bench::Fmt("%.2f%%", 100.0 * std::abs(measured - analytic) / analytic)});
+    fabric::FlowSpec comp;
+    comp.path = probe_path;
+    competitors.push_back(host.fabric().StartFlow(comp));
+  }
+  for (const auto id : competitors) {
+    host.fabric().StopFlow(id);
+  }
+
+  // --- hostping under a known fault: measured delta equals injected. ---
+  std::printf("\n");
+  const auto before = diagnose::PingNow(host.fabric(), server.nics[0], server.sockets[0]);
+  const auto path = *host.fabric().Route(server.nics[0], server.sockets[0]);
+  host.fabric().InjectLinkFault(path.hops[1].link,
+                                fabric::LinkFault{1.0, sim::TimeNs::Micros(3)});
+  const auto after = diagnose::PingNow(host.fabric(), server.nics[0], server.sockets[0]);
+  std::printf("hostping fault sensitivity: before=%s after=%s delta=%s (injected 3us)\n",
+              before.latency.ToString().c_str(), after.latency.ToString().c_str(),
+              (after.latency - before.latency).ToString().c_str());
+  return 0;
+}

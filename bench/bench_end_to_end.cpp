@@ -1,0 +1,98 @@
+// E10 — The paradigm shift (paper §1/§2): as the inter-host network gets
+// faster, the intra-host hops (classes 1-4) become the dominant share of a
+// remote access's end-to-end latency — and under intra-host congestion,
+// its bottleneck. Sweeps inter-host latency eras and reports the
+// decomposition, unloaded and with a congested PCIe fabric.
+
+#include "bench/bench_util.h"
+#include "src/core/host_network.h"
+#include "src/diagnose/tools.h"
+#include "src/workload/sources.h"
+
+namespace {
+
+using namespace mihn;
+
+struct Era {
+  const char* label;
+  sim::TimeNs inter_host_latency;
+  double inter_host_gbps;
+};
+
+struct Decomposition {
+  sim::TimeNs total;
+  sim::TimeNs intra;  // Everything except the inter-host hop.
+  double intra_share = 0;
+};
+
+Decomposition Measure(HostNetwork& host, bool congested) {
+  const auto& server = host.server();
+  std::unique_ptr<workload::StreamSource> aggressor;
+  if (congested) {
+    workload::StreamSource::Config bulk;
+    bulk.src = server.gpus[0];
+    bulk.dst = server.sockets[0];
+    aggressor = std::make_unique<workload::StreamSource>(host.fabric(), bulk);
+    aggressor->Start();
+  }
+  const auto trace = diagnose::Trace(host.fabric(), server.external_hosts[0], server.dimms[0]);
+  Decomposition d;
+  d.total = trace.total_current;
+  d.intra = sim::TimeNs::Zero();
+  for (const auto& hop : trace.hops) {
+    if (hop.kind != topology::LinkKind::kInterHost) {
+      d.intra += hop.current_latency;
+    }
+  }
+  d.intra_share = d.total.nanos() > 0
+                      ? static_cast<double>(d.intra.nanos()) / static_cast<double>(d.total.nanos())
+                      : 0.0;
+  if (aggressor) {
+    aggressor->Stop();
+  }
+  return d;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("E10: intra-host share of end-to-end latency",
+                "remote RDMA access (remote -> NIC -> switch -> root port -> memory) as "
+                "the inter-host fabric speeds up across hardware eras");
+
+  const Era eras[] = {
+      {"10G era (~30us)", sim::TimeNs::Micros(30), 10},
+      {"40G era (~10us)", sim::TimeNs::Micros(10), 40},
+      {"100G era (~5us)", sim::TimeNs::Micros(5), 100},
+      {"200G era (1.5us)", sim::TimeNs::Nanos(1500), 200},
+      {"400G era (600ns)", sim::TimeNs::Nanos(600), 400},
+      {"800G era (300ns)", sim::TimeNs::Nanos(300), 800},
+  };
+
+  bench::Table table({{"inter-host era", 19},
+                      {"e2e latency", 13},
+                      {"intra-host", 12},
+                      {"intra share", 13},
+                      {"e2e congested", 15},
+                      {"intra share", 13}});
+  for (const Era& era : eras) {
+    topology::ServerSpec spec;
+    spec.inter_host.base_latency = era.inter_host_latency;
+    spec.inter_host.capacity = sim::Bandwidth::Gbps(era.inter_host_gbps);
+    HostNetwork::Options options;
+    options.start_collector = false;
+    options.start_manager = false;
+    HostNetwork host(topology::BuildServer(spec), options);
+
+    const Decomposition unloaded = Measure(host, false);
+    const Decomposition congested = Measure(host, true);
+    table.Row({era.label, unloaded.total.ToString(), unloaded.intra.ToString(),
+               bench::Fmt("%.1f%%", unloaded.intra_share * 100.0), congested.total.ToString(),
+               bench::Fmt("%.1f%%", congested.intra_share * 100.0)});
+  }
+  std::printf("\nexpected shape: at 10G the intra-host hops are noise (~1%%); by the\n"
+              "200G era they are a double-digit share unloaded — and once the PCIe\n"
+              "fabric congests, the intra-host network IS the end-to-end bottleneck,\n"
+              "which is the paper's core motivation.\n");
+  return 0;
+}

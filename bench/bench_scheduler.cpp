@@ -1,0 +1,108 @@
+// E7 — Topology-aware scheduling (paper §3.2: "there can be several GPU-SSD
+// pathways ... choose one of the pathways based on topology and usage
+// information to maximize overall resource efficiency"). Places a stream of
+// cross-socket GPU->SSD jobs on a DGX-class box: naive shortest-path vs
+// topology-aware placement.
+
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/host_network.h"
+
+namespace {
+
+using namespace mihn;
+
+struct PlacementOutcome {
+  int admitted = 0;
+  double admitted_gbps = 0;
+  double max_inter_socket_util = 0;
+};
+
+PlacementOutcome RunPlacement(bool topology_aware, int jobs, double job_gbps) {
+  // DGX-class box where the inter-socket fabric is the scarce resource:
+  // four parallel 20 GB/s UPI links (paper range low end), so one link
+  // carries at most one 10 GB/s reservation with headroom.
+  topology::ServerSpec spec;
+  spec.memory_controllers_per_socket = 4;
+  spec.root_ports_per_socket = 2;
+  spec.gpus_per_leaf = 2;
+  spec.inter_socket_links = 4;
+  spec.inter_socket.capacity = sim::Bandwidth::GBps(20);
+  HostNetwork::Options options;
+  options.start_collector = false;
+  options.start_manager = false;
+  options.manager.scheduler.topology_aware = topology_aware;
+  options.manager.scheduler.k_paths = 8;
+  HostNetwork host(topology::BuildServer(spec), options);
+  const auto& server = host.server();
+  auto& mgr = host.manager();
+  const auto tenant = mgr.RegisterTenant("jobs", 1.0);
+
+  // Destinations: socket-1 leaf devices (SSDs and NICs), one per leaf, so
+  // the leaf PCIe links never bind before the UPI links do.
+  std::vector<topology::ComponentId> destinations;
+  for (const auto& pool : {server.ssds, server.nics}) {
+    for (const topology::ComponentId id : pool) {
+      if (host.topo().component(id).socket == server.sockets[1]) {
+        destinations.push_back(id);
+      }
+    }
+  }
+
+  PlacementOutcome outcome;
+  for (int j = 0; j < jobs; ++j) {
+    manager::PerformanceTarget target;
+    // Socket-0 GPUs to socket-1 devices: every job crosses the UPI fabric.
+    target.src = server.gpus[static_cast<size_t>(j) % (server.gpus.size() / 2)];
+    target.dst = destinations[static_cast<size_t>(j) % destinations.size()];
+    target.bandwidth = sim::Bandwidth::GBps(job_gbps);
+    const auto result = mgr.SubmitIntent(tenant, target);
+    if (result.ok()) {
+      ++outcome.admitted;
+      outcome.admitted_gbps += job_gbps;
+    }
+  }
+  for (const topology::LinkId lid : host.topo().LinksOfKind(topology::LinkKind::kInterSocket)) {
+    for (const bool forward : {true, false}) {
+      const double cap =
+          host.fabric().EffectiveCapacity({lid, forward}).bytes_per_sec();
+      const double reserved = mgr.ReservedOn({lid, forward}).bytes_per_sec();
+      if (cap > 0) {
+        outcome.max_inter_socket_util =
+            std::max(outcome.max_inter_socket_util, reserved / cap);
+      }
+    }
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("E7: topology-aware vs naive placement",
+                "cross-socket GPU->device reservations of 10 GB/s each on a DGX-class "
+                "box with 4 parallel 20 GB/s inter-socket links");
+
+  bench::Table table({{"jobs", 6},
+                      {"naive admitted", 16},
+                      {"naive GB/s", 12},
+                      {"naive max UPI", 15},
+                      {"aware admitted", 16},
+                      {"aware GB/s", 12},
+                      {"aware max UPI", 15}});
+  for (const int jobs : {1, 2, 3, 4, 6, 8}) {
+    const PlacementOutcome naive = RunPlacement(false, jobs, 10.0);
+    const PlacementOutcome aware = RunPlacement(true, jobs, 10.0);
+    table.Row({bench::Fmt("%d", jobs), bench::Fmt("%d", naive.admitted),
+               bench::Fmt("%.0f", naive.admitted_gbps),
+               bench::Fmt("%.0f%%", naive.max_inter_socket_util * 100.0),
+               bench::Fmt("%d", aware.admitted), bench::Fmt("%.0f", aware.admitted_gbps),
+               bench::Fmt("%.0f%%", aware.max_inter_socket_util * 100.0)});
+  }
+  std::printf("\nexpected shape: naive placement piles every job onto the single shortest\n"
+              "path and rejects from the second job on; topology-aware placement spreads\n"
+              "across the four parallel links, admitting ~4x the reservations — the\n"
+              "paper's \"several pathways ... maximize overall resource efficiency\".\n");
+  return 0;
+}

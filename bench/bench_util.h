@@ -1,0 +1,61 @@
+// Shared helpers for the experiment benchmarks: fixed-width table printing
+// so every bench emits the rows/series its paper counterpart reports.
+
+#ifndef MIHN_BENCH_BENCH_UTIL_H_
+#define MIHN_BENCH_BENCH_UTIL_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mihn::bench {
+
+// Prints "== title ==" with a short description underneath.
+inline void Banner(const std::string& title, const std::string& description) {
+  std::printf("\n== %s ==\n", title.c_str());
+  if (!description.empty()) {
+    std::printf("%s\n", description.c_str());
+  }
+}
+
+// Left-aligned fixed-width columns; call Header once, then Row per line.
+class Table {
+ public:
+  explicit Table(std::vector<std::pair<std::string, int>> columns)
+      : columns_(std::move(columns)) {
+    for (const auto& [name, width] : columns_) {
+      std::printf("%-*s", width, name.c_str());
+    }
+    std::printf("\n");
+    int total = 0;
+    for (const auto& [name, width] : columns_) {
+      total += width;
+    }
+    std::printf("%s\n", std::string(static_cast<size_t>(total), '-').c_str());
+  }
+
+  // Values must match the column count; each printed left-aligned.
+  void Row(const std::vector<std::string>& values) {
+    for (size_t i = 0; i < values.size() && i < columns_.size(); ++i) {
+      std::printf("%-*s", columns_[i].second, values[i].c_str());
+    }
+    std::printf("\n");
+  }
+
+ private:
+  std::vector<std::pair<std::string, int>> columns_;
+};
+
+inline std::string Fmt(const char* format, ...) {
+  char buf[160];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  return buf;
+}
+
+}  // namespace mihn::bench
+
+#endif  // MIHN_BENCH_BENCH_UTIL_H_

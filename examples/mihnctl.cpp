@@ -1,0 +1,159 @@
+// mihnctl — an operator's command-line tool over the manageability API.
+//
+//   mihnctl [--topo <file>] <command> [args...]
+//
+//   commands:
+//     describe                    print the topology
+//     dot                         print Graphviz for the topology
+//     ping <src> <dst>            hostping between two components
+//     trace <src> <dst>           hosttrace with per-hop breakdown
+//     perf <src> <dst>            hostperf achievable-bandwidth probe
+//     check                       misconfiguration findings
+//     demo-fault <src> <dst>      inject a fault on the path and re-trace
+//
+// Without --topo it uses the built-in two-socket preset. Component names are
+// the ones `describe` prints (e.g. nic0, s0, s0.mc0.dimm1, remote0).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/anomaly/misconfig.h"
+#include "src/core/host_network.h"
+#include "src/diagnose/tools.h"
+#include "src/topology/serialize.h"
+
+namespace {
+
+using namespace mihn;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: mihnctl [--topo <file>] <describe|dot|ping|trace|perf|check|demo-fault> "
+               "[<src> <dst>]\n");
+  return 2;
+}
+
+topology::ComponentId Resolve(const topology::Topology& topo, const char* name) {
+  const auto id = topo.FindComponent(name);
+  if (!id) {
+    std::fprintf(stderr, "mihnctl: unknown component '%s' (try 'describe')\n", name);
+    std::exit(2);
+  }
+  return *id;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string topo_file;
+  int arg = 1;
+  if (arg < argc && std::strcmp(argv[arg], "--topo") == 0) {
+    if (arg + 1 >= argc) {
+      return Usage();
+    }
+    topo_file = argv[arg + 1];
+    arg += 2;
+  }
+  if (arg >= argc) {
+    return Usage();
+  }
+  const std::string command = argv[arg++];
+
+  // Build the host: preset, or a user-described topology.
+  HostNetwork::Options options;
+  options.start_collector = false;
+  options.start_manager = false;
+  std::unique_ptr<HostNetwork> host;
+  if (topo_file.empty()) {
+    host = std::make_unique<HostNetwork>(options);
+  } else {
+    std::ifstream in(topo_file);
+    if (!in) {
+      std::fprintf(stderr, "mihnctl: cannot open '%s'\n", topo_file.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    auto parsed = topology::FromText(text.str());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "mihnctl: parse error: %s\n", parsed.error.c_str());
+      return 2;
+    }
+    const std::string invalid = parsed.topology->Validate();
+    if (!invalid.empty()) {
+      std::fprintf(stderr, "mihnctl: invalid topology: %s\n", invalid.c_str());
+      return 2;
+    }
+    topology::Server server;
+    server.topo = std::move(*parsed.topology);
+    host = std::make_unique<HostNetwork>(std::move(server), options);
+  }
+  const topology::Topology& topo = host->topo();
+
+  if (command == "describe") {
+    std::printf("%s", topo.Describe().c_str());
+    return 0;
+  }
+  if (command == "dot") {
+    std::printf("%s", topology::ToDot(topo).c_str());
+    return 0;
+  }
+  if (command == "check") {
+    anomaly::MisconfigChecker checker(host->fabric());
+    const std::string findings = checker.Render();
+    std::printf("%s", findings.empty() ? "no findings\n" : findings.c_str());
+    return 0;
+  }
+
+  if (arg + 1 >= argc) {
+    return Usage();
+  }
+  const topology::ComponentId src = Resolve(topo, argv[arg]);
+  const topology::ComponentId dst = Resolve(topo, argv[arg + 1]);
+
+  if (command == "ping") {
+    const auto result = diagnose::PingNow(host->fabric(), src, dst);
+    if (!result.reachable) {
+      std::printf("unreachable\n");
+      return 1;
+    }
+    std::printf("%s -> %s: %s over %zu hops (%s)\n", argv[arg], argv[arg + 1],
+                result.latency.ToString().c_str(), result.path.hops.size(),
+                result.path.ToString(topo).c_str());
+    return 0;
+  }
+  if (command == "trace") {
+    const auto trace = diagnose::Trace(host->fabric(), src, dst);
+    std::printf("%s", RenderTrace(host->fabric(), trace).c_str());
+    return trace.reachable ? 0 : 1;
+  }
+  if (command == "perf") {
+    const auto result = diagnose::PerfNow(host->fabric(), src, dst);
+    if (!result.reachable) {
+      std::printf("unreachable\n");
+      return 1;
+    }
+    std::printf("%s -> %s: %.2f GB/s (%.1f Gbps) achievable now\n", argv[arg], argv[arg + 1],
+                result.initial_rate.ToGBps(), result.initial_rate.ToGbps());
+    return 0;
+  }
+  if (command == "demo-fault") {
+    auto path = host->fabric().Route(src, dst);
+    if (!path) {
+      std::printf("unreachable\n");
+      return 1;
+    }
+    const topology::LinkId victim = path->hops[path->hops.size() / 2].link;
+    std::printf("== healthy ==\n%s",
+                RenderTrace(host->fabric(), diagnose::Trace(host->fabric(), src, dst)).c_str());
+    host->fabric().InjectLinkFault(victim,
+                                   fabric::LinkFault{0.5, sim::TimeNs::Micros(2)});
+    std::printf("\n== after silent fault on link %d (50%% capacity, +2us) ==\n%s", victim,
+                RenderTrace(host->fabric(), diagnose::Trace(host->fabric(), src, dst)).c_str());
+    return 0;
+  }
+  return Usage();
+}

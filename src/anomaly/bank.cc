@@ -1,0 +1,34 @@
+#include "src/anomaly/bank.h"
+
+#include <utility>
+
+namespace mihn::anomaly {
+
+void DetectorBank::Attach(std::string metric_key, std::unique_ptr<Detector> detector) {
+  Attachment a;
+  a.metric = std::move(metric_key);
+  a.detector = std::move(detector);
+  attachments_.push_back(std::move(a));
+}
+
+std::vector<Anomaly> DetectorBank::Scan(const telemetry::Collector& collector) {
+  std::vector<Anomaly> fired;
+  for (Attachment& a : attachments_) {
+    const sim::TimeSeries* series = collector.Series(a.metric);
+    if (series == nullptr) {
+      continue;
+    }
+    for (const sim::TimePoint& p : series->Window(a.last_seen + sim::TimeNs::Nanos(1))) {
+      a.last_seen = p.time;
+      if (auto anomaly = a.detector->Observe(p.time, p.value)) {
+        anomaly->metric = a.metric;
+        anomaly->detail = a.detector->name() + ": " + anomaly->detail;
+        fired.push_back(*anomaly);
+        log_.push_back(*anomaly);
+      }
+    }
+  }
+  return fired;
+}
+
+}  // namespace mihn::anomaly

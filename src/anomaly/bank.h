@@ -1,0 +1,47 @@
+// DetectorBank: attaches online detectors to Collector metric series and
+// scans new samples — the assembled "platform for anomaly detection" of
+// §3.1 (collector feeds it, detectors fire, the log accumulates).
+
+#ifndef MIHN_SRC_ANOMALY_BANK_H_
+#define MIHN_SRC_ANOMALY_BANK_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/anomaly/detectors.h"
+#include "src/telemetry/collector.h"
+
+namespace mihn::anomaly {
+
+class DetectorBank {
+ public:
+  DetectorBank() = default;
+
+  // Attaches |detector| to the metric series named |metric_key|. Multiple
+  // detectors per metric are allowed.
+  void Attach(std::string metric_key, std::unique_ptr<Detector> detector);
+
+  // Feeds every not-yet-seen sample of every attached series through its
+  // detectors. Returns the anomalies fired by this scan (also appended to
+  // log()). Call after (or periodically alongside) collector sampling.
+  std::vector<Anomaly> Scan(const telemetry::Collector& collector);
+
+  const std::vector<Anomaly>& log() const { return log_; }
+  size_t attachment_count() const { return attachments_.size(); }
+
+ private:
+  struct Attachment {
+    std::string metric;
+    std::unique_ptr<Detector> detector;
+    sim::TimeNs last_seen = sim::TimeNs::Nanos(-1);
+  };
+
+  std::vector<Attachment> attachments_;
+  std::vector<Anomaly> log_;
+};
+
+}  // namespace mihn::anomaly
+
+#endif  // MIHN_SRC_ANOMALY_BANK_H_

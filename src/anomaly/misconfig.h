@@ -1,0 +1,44 @@
+// Misconfiguration checker.
+//
+// Figure 1's dashed box lists host configuration that "heavily impacts the
+// performance of intra-host connections". Each knob in FabricConfig has a
+// quantified cost; the checker inspects the live configuration (plus
+// observed cache behaviour) and reports findings an operator can act on —
+// the "misconfiguration detection" capability of §3.1.
+
+#ifndef MIHN_SRC_ANOMALY_MISCONFIG_H_
+#define MIHN_SRC_ANOMALY_MISCONFIG_H_
+
+#include <string>
+#include <vector>
+
+#include "src/fabric/fabric.h"
+
+namespace mihn::anomaly {
+
+struct Finding {
+  enum class Severity { kInfo, kWarning, kCritical };
+  Severity severity = Severity::kInfo;
+  std::string knob;     // Which configuration item, e.g. "max_payload_bytes".
+  std::string message;  // Actionable description.
+};
+
+std::string_view SeverityName(Finding::Severity severity);
+
+class MisconfigChecker {
+ public:
+  explicit MisconfigChecker(const fabric::Fabric& fabric) : fabric_(fabric) {}
+
+  // Runs all checks; deterministic order, most severe first.
+  std::vector<Finding> Check() const;
+
+  // One finding per line: "[warning] max_payload_bytes: ...".
+  std::string Render() const;
+
+ private:
+  const fabric::Fabric& fabric_;
+};
+
+}  // namespace mihn::anomaly
+
+#endif  // MIHN_SRC_ANOMALY_MISCONFIG_H_

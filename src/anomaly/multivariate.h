@@ -1,0 +1,84 @@
+// Multivariate (Mahalanobis) anomaly detection over high-modality data.
+//
+// Paper §3.1 Q3: "Intra-host networks are more heterogeneous, so the
+// collected data will have more modalities (e.g., DDIO cache usage, and
+// PCIe bandwidth consumption). This means using machine learning may be
+// more essential in order to leverage these high-modality data."
+//
+// MultivariateDetector learns a running mean vector and full covariance
+// matrix (exponentially weighted) over a vector of metrics and fires when
+// an observation's Mahalanobis distance exceeds a threshold. Because the
+// covariance is full, it catches *correlation breaks* — e.g. PCIe
+// utilization high while DDIO hit rate is low — that per-metric detectors
+// structurally cannot see (each coordinate can stay within its marginal
+// range). CrossMetricWatch wires one onto a set of Collector series.
+
+#ifndef MIHN_SRC_ANOMALY_MULTIVARIATE_H_
+#define MIHN_SRC_ANOMALY_MULTIVARIATE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/anomaly/detectors.h"
+#include "src/telemetry/collector.h"
+
+namespace mihn::anomaly {
+
+class MultivariateDetector {
+ public:
+  // |dims|: vector length. |k|: Mahalanobis-distance threshold (in
+  // normalized units; ~3-5 is typical). |warmup|: observations used to
+  // learn the baseline before arming. |alpha|: EW weight of new samples.
+  MultivariateDetector(size_t dims, double k = 4.0, int warmup = 64, double alpha = 0.05);
+
+  // Feeds one joint observation (size must equal dims). Fires when the
+  // Mahalanobis distance exceeds k after warmup; anomalous samples are not
+  // absorbed into the baseline.
+  std::optional<Anomaly> Observe(sim::TimeNs at, const std::vector<double>& values);
+
+  // Mahalanobis distance of |values| under the current model (0 before any
+  // data). Exposed for tests and for score-based ranking.
+  double Distance(const std::vector<double>& values) const;
+
+  size_t dims() const { return dims_; }
+  int seen() const { return seen_; }
+  void Reset();
+
+ private:
+  // Solves (cov + ridge*I) x = b in-place via Gaussian elimination with
+  // partial pivoting; dims is small (metric panels, not feature spaces).
+  std::vector<double> SolveCov(const std::vector<double>& b) const;
+
+  size_t dims_;
+  double k_;
+  int warmup_;
+  double alpha_;
+  int seen_ = 0;
+  std::vector<double> mean_;
+  std::vector<double> cov_;  // Row-major dims x dims.
+};
+
+// Binds a MultivariateDetector to a panel of Collector series. Samples are
+// aligned by timestamp (the Collector stamps every metric of one tick with
+// the same time); only complete vectors are fed.
+class CrossMetricWatch {
+ public:
+  CrossMetricWatch(std::vector<std::string> metric_keys, MultivariateDetector detector);
+
+  // Feeds every complete, not-yet-seen aligned sample. Returned anomalies
+  // carry a joined metric name and the Mahalanobis score.
+  std::vector<Anomaly> Scan(const telemetry::Collector& collector);
+
+  const std::vector<std::string>& keys() const { return keys_; }
+  const MultivariateDetector& detector() const { return detector_; }
+
+ private:
+  std::vector<std::string> keys_;
+  MultivariateDetector detector_;
+  sim::TimeNs last_seen_ = sim::TimeNs::Nanos(-1);
+};
+
+}  // namespace mihn::anomaly
+
+#endif  // MIHN_SRC_ANOMALY_MULTIVARIATE_H_

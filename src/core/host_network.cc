@@ -1,0 +1,60 @@
+#include "src/core/host_network.h"
+
+#include <utility>
+
+namespace mihn {
+namespace {
+
+topology::Server BuildPreset(HostNetwork::Preset preset) {
+  switch (preset) {
+    case HostNetwork::Preset::kCommodityTwoSocket:
+      return topology::CommodityTwoSocket();
+    case HostNetwork::Preset::kDgxClass:
+      return topology::DgxClass();
+    case HostNetwork::Preset::kEdgeNode:
+      return topology::EdgeNode();
+  }
+  return topology::CommodityTwoSocket();
+}
+
+}  // namespace
+
+HostNetwork::HostNetwork() : HostNetwork(Options{}) {}
+
+HostNetwork::HostNetwork(Options options) : HostNetwork(BuildPreset(options.preset), options) {}
+
+HostNetwork::HostNetwork(topology::Server server, Options options)
+    : sim_(options.seed), server_(std::move(server)) {
+  fabric_ = std::make_unique<fabric::Fabric>(sim_, server_.topo, options.fabric);
+  if (options.report_telemetry_to_store &&
+      options.telemetry.report_to == topology::kInvalidComponent &&
+      server_.monitor_store != topology::kInvalidComponent) {
+    options.telemetry.report_to = server_.monitor_store;
+  }
+  collector_ = std::make_unique<telemetry::Collector>(*fabric_, options.telemetry);
+  manager_ = std::make_unique<manager::Manager>(*fabric_, options.manager);
+  if (options.start_collector) {
+    collector_->Start();
+  }
+  if (options.start_manager) {
+    manager_->Start();
+  }
+}
+
+std::vector<topology::ComponentId> HostNetwork::Devices() const {
+  std::vector<topology::ComponentId> devices = server_.sockets;
+  devices.insert(devices.end(), server_.nics.begin(), server_.nics.end());
+  devices.insert(devices.end(), server_.gpus.begin(), server_.gpus.end());
+  devices.insert(devices.end(), server_.ssds.begin(), server_.ssds.end());
+  return devices;
+}
+
+std::unique_ptr<anomaly::HeartbeatMesh> HostNetwork::MakeHeartbeatMesh(
+    anomaly::HeartbeatMesh::Config config) {
+  if (config.participants.empty()) {
+    config.participants = Devices();
+  }
+  return std::make_unique<anomaly::HeartbeatMesh>(*fabric_, std::move(config));
+}
+
+}  // namespace mihn

@@ -1,0 +1,85 @@
+// HostNetwork: the assembled manageable intra-host network.
+//
+// The one-stop facade a downstream user starts from: it owns the simulation
+// clock, a server topology (preset or custom), the fabric simulator, the
+// fine-grained monitoring collector (building block 1), and the holistic
+// resource manager (building block 2), wired together. Examples and
+// benchmarks build on this; power users can instead compose the pieces
+// from src/{sim,topology,fabric,telemetry,anomaly,diagnose,manager}
+// directly — HostNetwork adds no behaviour of its own.
+
+#ifndef MIHN_SRC_CORE_HOST_NETWORK_H_
+#define MIHN_SRC_CORE_HOST_NETWORK_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/anomaly/heartbeat.h"
+#include "src/fabric/fabric.h"
+#include "src/manager/manager.h"
+#include "src/sim/simulation.h"
+#include "src/telemetry/collector.h"
+#include "src/topology/presets.h"
+
+namespace mihn {
+
+class HostNetwork {
+ public:
+  enum class Preset { kCommodityTwoSocket, kDgxClass, kEdgeNode };
+
+  struct Options {
+    Preset preset = Preset::kCommodityTwoSocket;
+    uint64_t seed = 1;
+    fabric::FabricConfig fabric;
+    manager::ManagerConfig manager;
+    telemetry::Collector::Config telemetry;
+    // Ship telemetry to the topology's monitor store (models the §3.1 Q2
+    // self-cost). Ignored when the topology has none or telemetry.report_to
+    // is already set.
+    bool report_telemetry_to_store = true;
+    bool start_collector = true;
+    bool start_manager = true;
+  };
+
+  // Builds the default preset server with default options.
+  HostNetwork();
+  // Builds a preset server.
+  explicit HostNetwork(Options options);
+  // Wraps a caller-built server (takes ownership of the topology).
+  HostNetwork(topology::Server server, Options options);
+
+  HostNetwork(const HostNetwork&) = delete;
+  HostNetwork& operator=(const HostNetwork&) = delete;
+
+  // -- Component access ---------------------------------------------------------
+  sim::Simulation& simulation() { return sim_; }
+  const topology::Server& server() const { return server_; }
+  const topology::Topology& topo() const { return server_.topo; }
+  fabric::Fabric& fabric() { return *fabric_; }
+  telemetry::Collector& collector() { return *collector_; }
+  manager::Manager& manager() { return *manager_; }
+
+  // -- Conveniences ----------------------------------------------------------------
+  sim::TimeNs Now() const { return sim_.Now(); }
+  sim::TimeNs RunFor(sim::TimeNs duration) { return sim_.RunFor(duration); }
+
+  // All endpoint devices (NICs, GPUs, SSDs) plus sockets — the natural
+  // heartbeat-mesh participant set.
+  std::vector<topology::ComponentId> Devices() const;
+
+  // Builds (but does not start) a heartbeat mesh over Devices(), or over
+  // the given participants.
+  std::unique_ptr<anomaly::HeartbeatMesh> MakeHeartbeatMesh(
+      anomaly::HeartbeatMesh::Config config = {});
+
+ private:
+  sim::Simulation sim_;
+  topology::Server server_;
+  std::unique_ptr<fabric::Fabric> fabric_;
+  std::unique_ptr<telemetry::Collector> collector_;
+  std::unique_ptr<manager::Manager> manager_;
+};
+
+}  // namespace mihn
+
+#endif  // MIHN_SRC_CORE_HOST_NETWORK_H_

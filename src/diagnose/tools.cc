@@ -1,0 +1,236 @@
+#include "src/diagnose/tools.h"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+namespace mihn::diagnose {
+
+// -- HostPing -----------------------------------------------------------------
+
+PingResult PingNow(fabric::Fabric& fabric, topology::ComponentId src,
+                   topology::ComponentId dst, int64_t probe_bytes) {
+  PingResult result;
+  auto path = fabric.Route(src, dst);
+  if (!path) {
+    return result;
+  }
+  result.reachable = true;
+  result.path = std::move(*path);
+  // Latency + serialization, identical to what SendPacket would charge, but
+  // without injecting the probe into the counters.
+  sim::TimeNs latency = fabric.ProbePathLatency(result.path);
+  for (const topology::DirectedLink& hop : result.path.hops) {
+    const sim::Bandwidth cap = fabric.EffectiveCapacity(hop);
+    if (!cap.IsZero()) {
+      latency += cap.TransferTime(probe_bytes);
+    }
+  }
+  result.latency = latency;
+  return result;
+}
+
+void PingSeries(fabric::Fabric& fabric, topology::ComponentId src, topology::ComponentId dst,
+                int count, sim::TimeNs interval,
+                std::function<void(const sim::Histogram&)> on_done, int64_t probe_bytes) {
+  auto path = fabric.Route(src, dst);
+  if (!path || count <= 0) {
+    if (on_done) {
+      on_done(sim::Histogram{});
+    }
+    return;
+  }
+  struct SeriesState {
+    sim::Histogram latency_us;
+    int remaining = 0;
+  };
+  auto state = std::make_shared<SeriesState>();
+  state->remaining = count;
+  auto shared_path = std::make_shared<topology::Path>(std::move(*path));
+
+  // One probe per tick; the recursion keeps the interval exact regardless
+  // of per-probe latency.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [&fabric, state, shared_path, interval, on_done = std::move(on_done), probe_bytes,
+           tick] {
+    fabric::PacketSpec probe;
+    probe.path = *shared_path;
+    probe.bytes = probe_bytes;
+    probe.klass = fabric::TrafficClass::kProbe;
+    probe.on_delivered = [state, &fabric, interval, on_done, tick](sim::TimeNs latency) {
+      state->latency_us.Add(latency.ToMicrosF());
+      if (--state->remaining <= 0) {
+        if (on_done) {
+          on_done(state->latency_us);
+        }
+        return;
+      }
+      fabric.simulation().ScheduleAfter(interval, *tick);
+    };
+    fabric.SendPacket(std::move(probe));
+  };
+  (*tick)();
+}
+
+// -- HostTrace ----------------------------------------------------------------
+
+TraceResult Trace(fabric::Fabric& fabric, topology::ComponentId src,
+                  topology::ComponentId dst) {
+  TraceResult result;
+  auto path = fabric.Route(src, dst);
+  if (!path) {
+    return result;
+  }
+  result.reachable = true;
+  result.path = std::move(*path);
+  const topology::Topology& topo = fabric.topo();
+  result.total_base = sim::TimeNs::Zero();
+  result.total_current = sim::TimeNs::Zero();
+  for (size_t i = 0; i < result.path.hops.size(); ++i) {
+    const topology::DirectedLink hop = result.path.hops[i];
+    const topology::Link& link = topo.link(hop.link);
+    HopReport report;
+    report.from = topo.component(result.path.nodes[i]).name;
+    report.to = topo.component(result.path.nodes[i + 1]).name;
+    report.kind = link.spec.kind;
+    report.base_latency = link.spec.base_latency;
+    report.current_latency = fabric.HopLatency(hop);
+    report.utilization = fabric.Utilization(hop);
+    report.capacity = fabric.EffectiveCapacity(hop);
+    report.faulted = fabric.GetLinkFault(hop.link).has_value();
+    result.total_base += report.base_latency;
+    result.total_current += report.current_latency;
+    result.hops.push_back(std::move(report));
+  }
+  return result;
+}
+
+std::string RenderTrace(const fabric::Fabric& fabric, const TraceResult& trace) {
+  (void)fabric;
+  std::ostringstream out;
+  if (!trace.reachable) {
+    return "unreachable\n";
+  }
+  int hop_index = 1;
+  for (const HopReport& hop : trace.hops) {
+    out << hop_index++ << ". " << hop.from << " -> " << hop.to << " ["
+        << topology::LinkKindName(hop.kind) << "] base=" << hop.base_latency.ToString()
+        << " now=" << hop.current_latency.ToString() << " util="
+        << static_cast<int>(hop.utilization * 100) << "% cap=" << hop.capacity.ToString();
+    if (hop.faulted) {
+      out << " FAULT";
+    }
+    out << "\n";
+  }
+  out << "total: base=" << trace.total_base.ToString()
+      << " now=" << trace.total_current.ToString() << "\n";
+  return out.str();
+}
+
+// -- HostPerf -----------------------------------------------------------------
+
+PerfResult PerfNow(fabric::Fabric& fabric, topology::ComponentId src,
+                   topology::ComponentId dst) {
+  PerfResult result;
+  auto path = fabric.Route(src, dst);
+  if (!path) {
+    return result;
+  }
+  fabric::FlowSpec probe;
+  probe.path = std::move(*path);
+  probe.klass = fabric::TrafficClass::kProbe;
+  const fabric::FlowId id = fabric.StartFlow(std::move(probe));
+  if (id == fabric::kInvalidFlow) {
+    return result;
+  }
+  result.reachable = true;
+  result.initial_rate = fabric.FlowRate(id);
+  result.average_rate = result.initial_rate;
+  fabric.StopFlow(id);
+  return result;
+}
+
+void PerfRun(fabric::Fabric& fabric, topology::ComponentId src, topology::ComponentId dst,
+             sim::TimeNs duration, std::function<void(const PerfResult&)> on_done) {
+  auto path = fabric.Route(src, dst);
+  if (!path) {
+    if (on_done) {
+      on_done(PerfResult{});
+    }
+    return;
+  }
+  fabric::FlowSpec probe;
+  probe.path = std::move(*path);
+  probe.klass = fabric::TrafficClass::kProbe;
+  const fabric::FlowId id = fabric.StartFlow(std::move(probe));
+  PerfResult initial;
+  initial.reachable = true;
+  initial.initial_rate = fabric.FlowRate(id);
+  const sim::TimeNs start = fabric.simulation().Now();
+  fabric.simulation().ScheduleAfter(
+      duration, [&fabric, id, initial, start, duration, on_done = std::move(on_done)] {
+        PerfResult result = initial;
+        if (const auto info = fabric.GetFlowInfo(id)) {
+          result.bytes_moved = info->bytes_moved;
+          const double secs = (fabric.simulation().Now() - start).ToSecondsF();
+          result.average_rate =
+              secs > 0 ? sim::Bandwidth::BytesPerSec(static_cast<double>(info->bytes_moved) / secs)
+                       : sim::Bandwidth::Zero();
+        }
+        fabric.StopFlow(id);
+        if (on_done) {
+          on_done(result);
+        }
+        (void)duration;
+      });
+}
+
+// -- HostShark ----------------------------------------------------------------
+
+std::vector<fabric::FlowInfo> CaptureFlows(fabric::Fabric& fabric, const FlowFilter& filter) {
+  std::vector<fabric::FlowInfo> captured;
+  for (const fabric::FlowId id : fabric.ActiveFlows()) {
+    const auto info = fabric.GetFlowInfo(id);
+    if (!info) {
+      continue;
+    }
+    if (filter.tenant && info->tenant != *filter.tenant) {
+      continue;
+    }
+    if (filter.klass && info->klass != *filter.klass) {
+      continue;
+    }
+    if (filter.link && (info->path == nullptr || !info->path->Uses(*filter.link))) {
+      continue;
+    }
+    if (info->rate < filter.min_rate) {
+      continue;
+    }
+    captured.push_back(*info);
+  }
+  std::sort(captured.begin(), captured.end(),
+            [](const fabric::FlowInfo& a, const fabric::FlowInfo& b) {
+              if (a.rate != b.rate) {
+                return b.rate < a.rate;
+              }
+              return a.id < b.id;
+            });
+  return captured;
+}
+
+std::string RenderFlows(const fabric::Fabric& fabric,
+                        const std::vector<fabric::FlowInfo>& flows) {
+  std::ostringstream out;
+  for (const fabric::FlowInfo& flow : flows) {
+    out << "flow " << flow.id << " tenant=" << flow.tenant << " class="
+        << fabric::TrafficClassName(flow.klass) << " rate=" << flow.rate.ToString();
+    if (flow.path != nullptr) {
+      out << " path=" << flow.path->ToString(fabric.topo());
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace mihn::diagnose

@@ -1,0 +1,51 @@
+// DDIO / last-level-cache occupancy model.
+//
+// Paper §2: "with DDIO enabled, high-bandwidth PCIe devices ... can directly
+// write to the dedicated last-level cache ways. However, due to the limited
+// cache spaces and the high throughput direct write, these two devices can
+// cause cache thrashing and the data are evicted from the cache before
+// being consumed by the applications. This cache thrashing ultimately leads
+// to more consumption of the intra-host network resources (e.g., memory bus
+// bandwidth)."
+//
+// Model: inbound I/O writes targeting a socket have a combined working set
+// of (aggregate write rate) x (drain time). While the working set fits in
+// the DDIO way capacity, everything hits and no memory-bus traffic results.
+// Beyond that, the hit rate degrades as capacity / working-set — the classic
+// fractional-occupancy approximation — and the miss fraction of each flow
+// spills onto the memory path as TrafficClass::kSpill traffic.
+
+#ifndef MIHN_SRC_FABRIC_CACHE_MODEL_H_
+#define MIHN_SRC_FABRIC_CACHE_MODEL_H_
+
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace mihn::fabric {
+
+// Hit rate of DDIO-eligible I/O writes given the aggregate write rate into
+// one socket's LLC. Returns 1.0 when the working set fits, capacity/working
+// set otherwise (in (0, 1]). A zero or negative rate yields 1.0.
+double DdioHitRate(double aggregate_write_bytes_per_sec, sim::TimeNs drain_time,
+                   int64_t ddio_capacity_bytes);
+
+// Per-socket cache observability snapshot (exported through telemetry; this
+// is the "DDIO cache usage" modality of §3.1 Q3).
+struct SocketCacheStats {
+  double io_write_rate_bps = 0.0;   // Aggregate DDIO-eligible write rate.
+  double hit_rate = 1.0;            // Current modelled hit rate.
+  double spill_rate_bps = 0.0;      // Achieved memory-bus spill rate.
+  double working_set_bytes = 0.0;   // rate x drain time.
+  int64_t ddio_capacity_bytes = 0;  // Configured DDIO way capacity.
+
+  // Memory traffic amplification relative to a perfectly-cached baseline:
+  // 0 = no spill; 1 = every byte written also crosses the memory bus.
+  double AmplificationFactor() const {
+    return io_write_rate_bps > 0 ? spill_rate_bps / io_write_rate_bps : 0.0;
+  }
+};
+
+}  // namespace mihn::fabric
+
+#endif  // MIHN_SRC_FABRIC_CACHE_MODEL_H_

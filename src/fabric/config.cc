@@ -1,0 +1,13 @@
+#include "src/fabric/config.h"
+
+#include <algorithm>
+
+namespace mihn::fabric {
+
+double FabricConfig::LatencyInflation(double rho) const {
+  rho = std::clamp(rho, 0.0, 0.999999);
+  const double inflation = 1.0 + congestion_alpha * rho / (1.0 - rho);
+  return std::min(inflation, max_latency_inflation);
+}
+
+}  // namespace mihn::fabric

@@ -1,0 +1,598 @@
+#include "src/fabric/fabric.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace mihn::fabric {
+namespace {
+
+// A transfer is considered drained when less than half a byte remains
+// (floating-point fluid accrual never lands exactly on zero).
+constexpr double kDoneBytes = 0.5;
+// Spill flows below 1 byte/s of demand are treated as absent.
+constexpr double kSpillEpsBps = 1.0;
+
+}  // namespace
+
+Fabric::Fabric(sim::Simulation& sim, const topology::Topology& topo, FabricConfig config)
+    : sim_(sim), topo_(topo), router_(topo), config_(config), last_accrual_(sim.Now()) {
+  links_.resize(topo.link_count() * 2);
+  for (const topology::Link& link : topo.links()) {
+    for (const bool forward : {true, false}) {
+      DirectedLinkState& state =
+          links_[static_cast<size_t>(DirectedIndex(topology::DirectedLink{link.id, forward}))];
+      state.raw_capacity = link.spec.capacity.bytes_per_sec();
+    }
+  }
+  for (const topology::Component& c : topo.components()) {
+    if (c.kind == topology::ComponentKind::kDimm && c.socket != topology::kInvalidComponent) {
+      socket_dimms_[c.socket].push_back(c.id);
+    }
+  }
+  RefreshCapacities();
+}
+
+std::optional<topology::Path> Fabric::Route(topology::ComponentId src,
+                                            topology::ComponentId dst) const {
+  return router_.ShortestPath(src, dst);
+}
+
+FlowId Fabric::StartFlow(FlowSpec spec) {
+  if (spec.path.empty()) {
+    return kInvalidFlow;
+  }
+  const FlowId id = next_flow_id_++;
+  FlowState state;
+  state.id = id;
+  state.demand = std::min(spec.demand.bytes_per_sec(), kUnlimitedDemand);
+  state.start_time = sim_.Now();
+  state.link_indices.reserve(spec.path.hops.size());
+  for (const topology::DirectedLink& hop : spec.path.hops) {
+    state.link_indices.push_back(DirectedIndex(hop));
+  }
+  std::sort(state.link_indices.begin(), state.link_indices.end());
+  state.link_indices.erase(std::unique(state.link_indices.begin(), state.link_indices.end()),
+                           state.link_indices.end());
+  state.spec = std::move(spec);
+  flows_.emplace(id, std::move(state));
+  Recompute();
+  return id;
+}
+
+FlowId Fabric::StartTransfer(TransferSpec spec) {
+  if (spec.bytes <= 0) {
+    if (spec.on_complete) {
+      TransferResult result{0, sim_.Now(), sim_.Now(), 0};
+      sim_.ScheduleAfter(sim::TimeNs::Zero(),
+                         [cb = std::move(spec.on_complete), result] { cb(result); });
+    }
+    return kInvalidFlow;
+  }
+  const FlowId id = StartFlow(std::move(spec.flow));
+  if (id == kInvalidFlow) {
+    return kInvalidFlow;
+  }
+  FlowState& state = flows_.at(id);
+  state.bytes_remaining = static_cast<double>(spec.bytes);
+  state.on_complete = std::move(spec.on_complete);
+  RescheduleCompletion();
+  return id;
+}
+
+void Fabric::StopFlow(FlowId id) {
+  if (!flows_.contains(id)) {
+    return;
+  }
+  AccrueCounters();
+  RemoveFlowInternal(id);
+  Recompute();
+}
+
+void Fabric::SetFlowLimit(FlowId id, sim::Bandwidth limit) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) {
+    return;
+  }
+  it->second.limit = limit.bytes_per_sec() < 0 ? 0.0
+                                               : std::min(limit.bytes_per_sec(), kUnlimitedDemand);
+  Recompute();
+}
+
+void Fabric::SetFlowLimitsBatch(const std::vector<std::pair<FlowId, sim::Bandwidth>>& limits) {
+  bool changed = false;
+  for (const auto& [id, limit] : limits) {
+    const auto it = flows_.find(id);
+    if (it == flows_.end()) {
+      continue;
+    }
+    it->second.limit =
+        limit.bytes_per_sec() < 0 ? 0.0 : std::min(limit.bytes_per_sec(), kUnlimitedDemand);
+    changed = true;
+  }
+  if (changed) {
+    Recompute();
+  }
+}
+
+void Fabric::SetFlowWeight(FlowId id, double weight) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) {
+    return;
+  }
+  it->second.spec.weight = std::max(weight, 1e-9);
+  Recompute();
+}
+
+void Fabric::SetFlowDemand(FlowId id, sim::Bandwidth demand) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) {
+    return;
+  }
+  it->second.demand = std::clamp(demand.bytes_per_sec(), 0.0, kUnlimitedDemand);
+  it->second.spec.demand = demand;
+  Recompute();
+}
+
+std::optional<FlowInfo> Fabric::GetFlowInfo(FlowId id) {
+  AccrueCounters();
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) {
+    return std::nullopt;
+  }
+  const FlowState& f = it->second;
+  FlowInfo info;
+  info.id = f.id;
+  info.tenant = f.spec.tenant;
+  info.klass = f.spec.klass;
+  info.rate = sim::Bandwidth::BytesPerSec(f.rate);
+  info.demand = sim::Bandwidth::BytesPerSec(f.demand);
+  info.limit = sim::Bandwidth::BytesPerSec(f.limit);
+  info.weight = f.spec.weight;
+  info.bytes_moved = static_cast<int64_t>(f.bytes_moved);
+  info.bytes_remaining =
+      f.bytes_remaining < 0 ? -1 : static_cast<int64_t>(std::ceil(f.bytes_remaining));
+  info.start_time = f.start_time;
+  info.path = &f.spec.path;
+  return info;
+}
+
+sim::Bandwidth Fabric::FlowRate(FlowId id) const {
+  const auto it = flows_.find(id);
+  return it == flows_.end() ? sim::Bandwidth::Zero() : sim::Bandwidth::BytesPerSec(it->second.rate);
+}
+
+std::vector<FlowId> Fabric::ActiveFlows() const {
+  std::vector<FlowId> ids;
+  ids.reserve(flows_.size());
+  for (const auto& [id, f] : flows_) {
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+sim::TimeNs Fabric::SendPacket(PacketSpec spec) {
+  sim::TimeNs latency = ProbePathLatency(spec.path);
+  for (const topology::DirectedLink& hop : spec.path.hops) {
+    DirectedLinkState& state = links_[static_cast<size_t>(DirectedIndex(hop))];
+    // Store-and-forward serialization on each hop.
+    if (state.effective_capacity > 0) {
+      latency += sim::TimeNs::FromSecondsF(static_cast<double>(spec.bytes) /
+                                           state.effective_capacity);
+    }
+    state.bytes_total += static_cast<double>(spec.bytes);
+    state.packets += 1;
+    state.bytes_by_tenant[spec.tenant] += static_cast<double>(spec.bytes);
+    state.bytes_by_class[static_cast<size_t>(spec.klass)] += static_cast<double>(spec.bytes);
+  }
+  latency += config_.interrupt_moderation;
+  if (spec.on_delivered) {
+    sim_.ScheduleAfter(latency, [cb = std::move(spec.on_delivered), latency] { cb(latency); });
+  }
+  return latency;
+}
+
+sim::TimeNs Fabric::ProbePathLatency(const topology::Path& path) const {
+  sim::TimeNs total = sim::TimeNs::Zero();
+  for (const topology::DirectedLink& hop : path.hops) {
+    total += HopLatency(hop);
+  }
+  return total;
+}
+
+sim::TimeNs Fabric::HopLatency(topology::DirectedLink hop) const {
+  const DirectedLinkState& state = links_[static_cast<size_t>(DirectedIndex(hop))];
+  const double rho =
+      state.effective_capacity > 0 ? state.rate / state.effective_capacity : 1.0;
+  return Scale(HopBaseLatency(hop), config_.LatencyInflation(rho));
+}
+
+void Fabric::InjectLinkFault(topology::LinkId link, LinkFault fault) {
+  faults_[link] = fault;
+  Recompute();
+}
+
+void Fabric::ClearLinkFault(topology::LinkId link) {
+  if (faults_.erase(link) > 0) {
+    Recompute();
+  }
+}
+
+std::optional<LinkFault> Fabric::GetLinkFault(topology::LinkId link) const {
+  const auto it = faults_.find(link);
+  if (it == faults_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void Fabric::SetConfig(FabricConfig config) {
+  config_ = config;
+  Recompute();
+}
+
+LinkSnapshot Fabric::Snapshot(topology::DirectedLink dlink) {
+  AccrueCounters();
+  const DirectedLinkState& state = links_[static_cast<size_t>(DirectedIndex(dlink))];
+  LinkSnapshot snap;
+  snap.link = dlink.link;
+  snap.forward = dlink.forward;
+  snap.capacity_bps = state.effective_capacity;
+  snap.rate_bps = state.rate;
+  snap.utilization = state.effective_capacity > 0 ? state.rate / state.effective_capacity : 0.0;
+  snap.bytes_total = state.bytes_total;
+  snap.packets = state.packets;
+  snap.rate_by_tenant_bps = state.rate_by_tenant;
+  snap.bytes_by_tenant = state.bytes_by_tenant;
+  snap.rate_by_class_bps = state.rate_by_class;
+  snap.bytes_by_class = state.bytes_by_class;
+  return snap;
+}
+
+std::vector<LinkSnapshot> Fabric::SnapshotAll() {
+  AccrueCounters();
+  std::vector<LinkSnapshot> all;
+  all.reserve(links_.size());
+  for (const topology::Link& link : topo_.links()) {
+    for (const bool forward : {true, false}) {
+      all.push_back(Snapshot(topology::DirectedLink{link.id, forward}));
+    }
+  }
+  return all;
+}
+
+sim::Bandwidth Fabric::EffectiveCapacity(topology::DirectedLink dlink) const {
+  return sim::Bandwidth::BytesPerSec(
+      links_[static_cast<size_t>(DirectedIndex(dlink))].effective_capacity);
+}
+
+double Fabric::Utilization(topology::DirectedLink dlink) const {
+  const DirectedLinkState& state = links_[static_cast<size_t>(DirectedIndex(dlink))];
+  return state.effective_capacity > 0 ? state.rate / state.effective_capacity : 0.0;
+}
+
+SocketCacheStats Fabric::CacheStats(topology::ComponentId socket) const {
+  const auto it = cache_stats_.find(socket);
+  if (it == cache_stats_.end()) {
+    SocketCacheStats stats;
+    stats.ddio_capacity_bytes = config_.DdioCapacityBytes();
+    return stats;
+  }
+  return it->second;
+}
+
+// -- Internals ----------------------------------------------------------------
+
+bool Fabric::IsPcieKind(topology::LinkKind kind) const {
+  switch (kind) {
+    case topology::LinkKind::kPcieSwitchUp:
+    case topology::LinkKind::kPcieSwitchDown:
+    case topology::LinkKind::kPcieRootLink:
+      return true;
+    default:
+      return false;
+  }
+}
+
+sim::TimeNs Fabric::HopBaseLatency(topology::DirectedLink hop) const {
+  const topology::Link& link = topo_.link(hop.link);
+  sim::TimeNs base = link.spec.base_latency;
+  const auto fault = faults_.find(hop.link);
+  if (fault != faults_.end()) {
+    base += fault->second.extra_latency;
+  }
+  if (config_.iommu_enabled && IsPcieKind(link.spec.kind)) {
+    base += config_.iommu_latency;
+  }
+  return base;
+}
+
+void Fabric::RefreshCapacities() {
+  const double pcie_factor = config_.PcieCapacityFactor();
+  for (const topology::Link& link : topo_.links()) {
+    double factor = IsPcieKind(link.spec.kind) ? pcie_factor : 1.0;
+    const auto fault = faults_.find(link.id);
+    if (fault != faults_.end()) {
+      factor *= std::clamp(fault->second.capacity_factor, 0.0, 1.0);
+    }
+    for (const bool forward : {true, false}) {
+      DirectedLinkState& state =
+          links_[static_cast<size_t>(DirectedIndex(topology::DirectedLink{link.id, forward}))];
+      state.effective_capacity = state.raw_capacity * factor;
+    }
+  }
+}
+
+void Fabric::AccrueCounters() {
+  const sim::TimeNs now = sim_.Now();
+  const double dt = (now - last_accrual_).ToSecondsF();
+  last_accrual_ = now;
+  if (dt <= 0.0) {
+    return;
+  }
+  for (auto& [id, f] : flows_) {
+    double bytes = f.rate * dt;
+    if (f.bytes_remaining >= 0.0) {
+      // Finite transfers never move more than they have left (the
+      // completion event carries +1ns of slack).
+      bytes = std::min(bytes, f.bytes_remaining);
+      f.bytes_remaining -= bytes;
+    }
+    if (bytes <= 0.0) {
+      continue;
+    }
+    f.bytes_moved += bytes;
+    for (const int32_t li : f.link_indices) {
+      DirectedLinkState& state = links_[static_cast<size_t>(li)];
+      state.bytes_total += bytes;
+      state.bytes_by_tenant[f.spec.tenant] += bytes;
+      state.bytes_by_class[static_cast<size_t>(f.spec.klass)] += bytes;
+    }
+  }
+}
+
+topology::ComponentId Fabric::PickSpillDimm(topology::ComponentId socket, FlowId flow) {
+  const auto it = socket_dimms_.find(socket);
+  if (it == socket_dimms_.end() || it->second.empty()) {
+    return topology::kInvalidComponent;
+  }
+  return it->second[static_cast<size_t>(flow) % it->second.size()];
+}
+
+void Fabric::UpdateCacheCoupling(const std::unordered_map<FlowId, double>& rates) {
+  // Group DDIO-eligible parents by destination socket.
+  std::map<topology::ComponentId, std::vector<FlowId>> by_socket;
+  for (auto& [id, f] : flows_) {
+    if (!f.spec.ddio_write || f.spill_parent != kInvalidFlow) {
+      continue;
+    }
+    const topology::ComponentId dst = f.spec.path.destination();
+    if (topo_.component(dst).kind != topology::ComponentKind::kCpuSocket) {
+      continue;
+    }
+    by_socket[dst].push_back(id);
+  }
+
+  cache_stats_.clear();
+  for (const auto& [socket, ids] : by_socket) {
+    double io_rate = 0.0;
+    for (const FlowId id : ids) {
+      const auto it = rates.find(id);
+      io_rate += it == rates.end() ? 0.0 : it->second;
+    }
+    const double hit =
+        config_.ddio_enabled
+            ? DdioHitRate(io_rate, config_.llc_drain_time, config_.DdioCapacityBytes())
+            : 0.0;
+    const double miss = 1.0 - hit;
+
+    SocketCacheStats stats;
+    stats.io_write_rate_bps = io_rate;
+    stats.hit_rate = hit;
+    stats.working_set_bytes = io_rate * config_.llc_drain_time.ToSecondsF();
+    stats.ddio_capacity_bytes = config_.DdioCapacityBytes();
+    cache_stats_[socket] = stats;
+
+    for (const FlowId id : ids) {
+      FlowState& f = flows_.at(id);
+      f.miss_fraction = miss;
+      const auto rit = rates.find(id);
+      const double desired_spill = (rit == rates.end() ? 0.0 : rit->second) * miss;
+      if (desired_spill > kSpillEpsBps) {
+        if (f.spill_child == kInvalidFlow) {
+          const topology::ComponentId dimm = PickSpillDimm(socket, id);
+          if (dimm == topology::kInvalidComponent) {
+            continue;  // No memory behind this socket; spill unmodelled.
+          }
+          auto spill_path = router_.ShortestPath(socket, dimm);
+          if (!spill_path) {
+            continue;
+          }
+          const FlowId child_id = next_flow_id_++;
+          FlowState child;
+          child.id = child_id;
+          child.spec.path = std::move(*spill_path);
+          child.spec.tenant = f.spec.tenant;  // Attribution: the tenant "causes" the spill.
+          child.spec.weight = f.spec.weight;
+          child.spec.klass = TrafficClass::kSpill;
+          child.demand = desired_spill;
+          child.spill_parent = id;
+          child.start_time = sim_.Now();
+          for (const topology::DirectedLink& hop : child.spec.path.hops) {
+            child.link_indices.push_back(DirectedIndex(hop));
+          }
+          std::sort(child.link_indices.begin(), child.link_indices.end());
+          child.link_indices.erase(
+              std::unique(child.link_indices.begin(), child.link_indices.end()),
+              child.link_indices.end());
+          flows_.emplace(child_id, std::move(child));
+          f.spill_child = child_id;
+        } else {
+          flows_.at(f.spill_child).demand = desired_spill;
+        }
+      } else if (f.spill_child != kInvalidFlow) {
+        flows_.at(f.spill_child).demand = 0.0;
+      }
+    }
+  }
+}
+
+void Fabric::Recompute() {
+  if (in_recompute_) {
+    return;
+  }
+  in_recompute_ = true;
+  AccrueCounters();
+  RefreshCapacities();
+
+  auto solve = [this]() {
+    std::vector<MaxMinFlow> input;
+    std::vector<FlowId> order;
+    input.reserve(flows_.size());
+    order.reserve(flows_.size());
+    for (const auto& [id, f] : flows_) {
+      MaxMinFlow mm;
+      mm.weight = f.spec.weight;
+      mm.demand = std::min({f.demand, f.limit, f.cache_cap});
+      mm.links = f.link_indices;
+      input.push_back(std::move(mm));
+      order.push_back(id);
+    }
+    std::vector<double> caps(links_.size());
+    for (size_t i = 0; i < links_.size(); ++i) {
+      caps[i] = links_[i].effective_capacity;
+    }
+    const std::vector<double> solved = SolveMaxMin(input, caps);
+    std::unordered_map<FlowId, double> rates;
+    rates.reserve(order.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+      rates[order[i]] = solved[i];
+    }
+    return rates;
+  };
+
+  // Round 1: potential rates with the cache throttle lifted. These set each
+  // DDIO flow's desired spill (what it *would* push to memory).
+  for (auto& [id, f] : flows_) {
+    f.cache_cap = kUnlimitedDemand;
+  }
+  const auto potential = solve();
+  UpdateCacheCoupling(potential);
+
+  // Round 2: spill companions active at their desired demand.
+  auto rates = solve();
+
+  // If memory cannot absorb a flow's spill, the flow itself is throttled to
+  // its miss-drain rate (writes stall behind evictions). One more solve
+  // with those caps; computing caps from round-2 child rates (not a full
+  // fixed point) keeps the result stable and deterministic.
+  bool any_cap = false;
+  for (auto& [id, f] : flows_) {
+    if (f.spill_child == kInvalidFlow || f.miss_fraction <= 1e-9) {
+      continue;
+    }
+    const FlowState& child = flows_.at(f.spill_child);
+    const auto crate = rates.find(f.spill_child);
+    const double achieved = crate == rates.end() ? 0.0 : crate->second;
+    if (achieved < child.demand * (1.0 - 1e-6)) {
+      f.cache_cap = achieved / f.miss_fraction;
+      any_cap = true;
+    }
+  }
+  if (any_cap) {
+    rates = solve();
+  }
+
+  // Commit rates and rebuild per-link aggregates.
+  for (auto& state : links_) {
+    state.rate = 0.0;
+    state.rate_by_tenant.clear();
+    state.rate_by_class.fill(0.0);
+  }
+  for (auto& [id, f] : flows_) {
+    const auto it = rates.find(id);
+    f.rate = it == rates.end() ? 0.0 : it->second;
+    for (const int32_t li : f.link_indices) {
+      DirectedLinkState& state = links_[static_cast<size_t>(li)];
+      state.rate += f.rate;
+      state.rate_by_tenant[f.spec.tenant] += f.rate;
+      state.rate_by_class[static_cast<size_t>(f.spec.klass)] += f.rate;
+    }
+    // Record achieved spill in the socket stats.
+    if (f.spill_parent != kInvalidFlow) {
+      const FlowState& parent = flows_.at(f.spill_parent);
+      const topology::ComponentId socket = parent.spec.path.destination();
+      const auto sit = cache_stats_.find(socket);
+      if (sit != cache_stats_.end()) {
+        sit->second.spill_rate_bps += f.rate;
+      }
+    }
+  }
+  ++recompute_count_;
+  in_recompute_ = false;
+  RescheduleCompletion();
+}
+
+void Fabric::RescheduleCompletion() {
+  completion_event_.Cancel();
+  double min_secs = std::numeric_limits<double>::infinity();
+  for (const auto& [id, f] : flows_) {
+    if (f.bytes_remaining >= 0.0 && f.rate > 0.0) {
+      min_secs = std::min(min_secs, f.bytes_remaining / f.rate);
+    }
+  }
+  if (!std::isfinite(min_secs)) {
+    return;
+  }
+  // +1ns so float accrual definitively crosses the completion threshold.
+  const sim::TimeNs delay = sim::TimeNs::FromSecondsF(min_secs) + sim::TimeNs::Nanos(1);
+  completion_event_ = sim_.ScheduleAfter(delay, [this] { OnCompletionEvent(); });
+}
+
+void Fabric::OnCompletionEvent() {
+  AccrueCounters();
+  std::vector<FlowId> done;
+  for (const auto& [id, f] : flows_) {
+    if (f.bytes_remaining >= 0.0 && f.bytes_remaining <= kDoneBytes) {
+      done.push_back(id);
+    }
+  }
+  for (const FlowId id : done) {
+    FlowState& f = flows_.at(id);
+    if (f.on_complete) {
+      TransferResult result;
+      result.id = id;
+      result.start = f.start_time;
+      // Delivery: fluid drain time plus one traversal of (congested) path
+      // latency and any interrupt-moderation delay.
+      result.end = sim_.Now() + ProbePathLatency(f.spec.path) + config_.interrupt_moderation;
+      result.bytes = static_cast<int64_t>(std::llround(f.bytes_moved));
+      sim_.ScheduleAt(result.end, [cb = std::move(f.on_complete), result] { cb(result); });
+    }
+    RemoveFlowInternal(id);
+  }
+  Recompute();
+}
+
+void Fabric::RemoveFlowInternal(FlowId id) {
+  const auto it = flows_.find(id);
+  if (it == flows_.end()) {
+    return;
+  }
+  const FlowId child = it->second.spill_child;
+  const FlowId parent = it->second.spill_parent;
+  flows_.erase(it);
+  if (child != kInvalidFlow) {
+    RemoveFlowInternal(child);
+  }
+  if (parent != kInvalidFlow) {
+    const auto pit = flows_.find(parent);
+    if (pit != flows_.end()) {
+      pit->second.spill_child = kInvalidFlow;
+      pit->second.cache_cap = kUnlimitedDemand;
+    }
+  }
+}
+
+}  // namespace mihn::fabric

@@ -1,0 +1,213 @@
+// The fluid flow-level simulator of the intra-host network.
+//
+// Fabric animates a Topology inside a Simulation:
+//
+//  * Continuous/finite *flows* share every directed link by weighted
+//    max-min fairness (recomputed on each arrival, departure, limit change,
+//    fault, or config change — the fluid equivalent of PCIe/memory-bus
+//    arbitration).
+//  * Per-hop latency inflates with utilization (M/M/1 shape), reproducing
+//    "congestion in the intra-host network causes application-level
+//    performance anomalies" (paper §2).
+//  * Inbound I/O writes to a CPU socket pass through the DDIO/LLC model;
+//    misses spawn companion TrafficClass::kSpill flows onto the memory bus
+//    and throttle the parent to its miss-drain rate.
+//  * Small *packets* (RPCs, heartbeats, probes) ride on top without
+//    claiming fluid bandwidth; they observe congestion latency.
+//  * Every byte is attributed to a (tenant, traffic class) per directed
+//    link — the observability substrate the telemetry module samples.
+//
+// This class is the hardware-substitution boundary (see DESIGN.md §1): the
+// manageability layers above talk only to this interface.
+
+#ifndef MIHN_SRC_FABRIC_FABRIC_H_
+#define MIHN_SRC_FABRIC_FABRIC_H_
+
+#include <array>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/fabric/cache_model.h"
+#include "src/fabric/config.h"
+#include "src/fabric/types.h"
+#include "src/sim/simulation.h"
+#include "src/topology/routing.h"
+#include "src/topology/topology.h"
+
+namespace mihn::fabric {
+
+// Telemetry view of one direction of one link.
+struct LinkSnapshot {
+  topology::LinkId link = topology::kInvalidLink;
+  bool forward = true;
+  double capacity_bps = 0.0;  // Effective (after config + faults).
+  double rate_bps = 0.0;      // Currently allocated fluid rate.
+  double utilization = 0.0;   // rate / capacity in [0, 1].
+  double bytes_total = 0.0;   // Accrued since start (fluid + packets).
+  uint64_t packets = 0;
+  // Deterministically ordered per-tenant attribution.
+  std::map<TenantId, double> rate_by_tenant_bps;
+  std::map<TenantId, double> bytes_by_tenant;
+  std::array<double, kNumTrafficClasses> rate_by_class_bps{};
+  std::array<double, kNumTrafficClasses> bytes_by_class{};
+};
+
+class Fabric {
+ public:
+  // |topo| must outlive the Fabric and pass Validate().
+  Fabric(sim::Simulation& sim, const topology::Topology& topo, FabricConfig config = {});
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  // -- Routing convenience ----------------------------------------------------
+  // Shortest (base-latency) path; nullopt if unreachable.
+  std::optional<topology::Path> Route(topology::ComponentId src,
+                                      topology::ComponentId dst) const;
+
+  // -- Flows -------------------------------------------------------------------
+  // Starts a continuous flow. Returns kInvalidFlow for an empty path.
+  FlowId StartFlow(FlowSpec spec);
+
+  // Starts a finite transfer; spec.on_complete fires at delivery. Returns
+  // the id of the underlying flow. Zero-byte transfers complete immediately.
+  FlowId StartTransfer(TransferSpec spec);
+
+  // Stops and removes a flow (its spill companion too). Finite transfers
+  // stopped early never fire on_complete. No-op for unknown ids.
+  void StopFlow(FlowId id);
+
+  // Arbiter hooks: rate cap and fair-share weight.
+  void SetFlowLimit(FlowId id, sim::Bandwidth limit);
+  // Applies many limits with a single rate recomputation — what a real
+  // arbiter's batched enforcement write-back would do. Unknown ids are
+  // skipped.
+  void SetFlowLimitsBatch(const std::vector<std::pair<FlowId, sim::Bandwidth>>& limits);
+  void SetFlowWeight(FlowId id, double weight);
+  // Application hook: change a continuous flow's offered demand.
+  void SetFlowDemand(FlowId id, sim::Bandwidth demand);
+
+  // Accrues pending fluid bytes before reporting.
+  std::optional<FlowInfo> GetFlowInfo(FlowId id);
+  sim::Bandwidth FlowRate(FlowId id) const;
+  std::vector<FlowId> ActiveFlows() const;
+
+  // -- Packets -----------------------------------------------------------------
+  // Sends a packetized message; on_delivered fires after per-hop congestion
+  // latency + serialization (+ interrupt moderation). Returns the latency
+  // it will experience (known immediately — the model is deterministic).
+  sim::TimeNs SendPacket(PacketSpec spec);
+
+  // Current end-to-end latency along |path| for a minimal probe (no
+  // serialization): what a zero-byte ping would see right now.
+  sim::TimeNs ProbePathLatency(const topology::Path& path) const;
+
+  // Current one-hop latency (with congestion inflation and faults).
+  sim::TimeNs HopLatency(topology::DirectedLink hop) const;
+
+  // -- Faults ------------------------------------------------------------------
+  // Injects/overwrites a silent fault on |link| (both directions).
+  void InjectLinkFault(topology::LinkId link, LinkFault fault);
+  void ClearLinkFault(topology::LinkId link);
+  std::optional<LinkFault> GetLinkFault(topology::LinkId link) const;
+
+  // -- Configuration -------------------------------------------------------------
+  const FabricConfig& config() const { return config_; }
+  void SetConfig(FabricConfig config);
+
+  // -- Telemetry access ----------------------------------------------------------
+  // Both accrue pending fluid bytes before reporting, so counters are
+  // exact as of Now().
+  LinkSnapshot Snapshot(topology::DirectedLink dlink);
+  std::vector<LinkSnapshot> SnapshotAll();
+
+  // Effective capacity of one direction (after config + faults).
+  sim::Bandwidth EffectiveCapacity(topology::DirectedLink dlink) const;
+  double Utilization(topology::DirectedLink dlink) const;
+
+  // DDIO/LLC stats for a socket (zero-value stats if none tracked yet).
+  SocketCacheStats CacheStats(topology::ComponentId socket) const;
+
+  const topology::Topology& topo() const { return topo_; }
+  sim::Simulation& simulation() { return sim_; }
+
+  // Number of max-min recomputations performed (engine health metric).
+  uint64_t recompute_count() const { return recompute_count_; }
+
+ private:
+  struct FlowState {
+    FlowId id = kInvalidFlow;
+    FlowSpec spec;
+    double demand = 0.0;     // bytes/s (after spec.demand).
+    double limit = kUnlimitedDemand;
+    double cache_cap = kUnlimitedDemand;  // Miss-drain throttle from the LLC model.
+    double miss_fraction = 0.0;           // 1 - hit rate of this flow's socket.
+    double rate = 0.0;
+    double bytes_remaining = -1.0;  // < 0: continuous.
+    double bytes_moved = 0.0;
+    sim::TimeNs start_time;
+    std::function<void(const TransferResult&)> on_complete;
+    FlowId spill_child = kInvalidFlow;
+    FlowId spill_parent = kInvalidFlow;
+    std::vector<int32_t> link_indices;  // DirectedIndex per hop (deduped).
+  };
+
+  struct DirectedLinkState {
+    double raw_capacity = 0.0;
+    double effective_capacity = 0.0;
+    double rate = 0.0;
+    double bytes_total = 0.0;
+    uint64_t packets = 0;
+    std::map<TenantId, double> rate_by_tenant;
+    std::map<TenantId, double> bytes_by_tenant;
+    std::array<double, kNumTrafficClasses> rate_by_class{};
+    std::array<double, kNumTrafficClasses> bytes_by_class{};
+  };
+
+  // Moves fluid bytes for the interval since the last accrual into the
+  // per-link and per-flow counters. Must be called before any rate change.
+  void AccrueCounters();
+
+  // Re-solves max-min rates (with the cache fixed point) and reschedules
+  // the next completion event.
+  void Recompute();
+
+  // Applies config + faults to every directed link's effective capacity.
+  void RefreshCapacities();
+
+  // Ensures/updates spill companions for DDIO flows. Part of Recompute.
+  void UpdateCacheCoupling(const std::unordered_map<FlowId, double>& rates);
+
+  void RescheduleCompletion();
+  void OnCompletionEvent();
+  void RemoveFlowInternal(FlowId id);
+
+  bool IsPcieKind(topology::LinkKind kind) const;
+  sim::TimeNs HopBaseLatency(topology::DirectedLink hop) const;
+
+  // Chooses the spill destination DIMM for a socket (round-robin).
+  topology::ComponentId PickSpillDimm(topology::ComponentId socket, FlowId flow);
+
+  sim::Simulation& sim_;
+  const topology::Topology& topo_;
+  topology::Router router_;
+  FabricConfig config_;
+
+  std::vector<DirectedLinkState> links_;  // Indexed by DirectedIndex.
+  std::map<FlowId, FlowState> flows_;    // Ordered: deterministic iteration.
+  FlowId next_flow_id_ = 1;
+  sim::TimeNs last_accrual_;
+  sim::EventHandle completion_event_;
+  std::unordered_map<topology::LinkId, LinkFault> faults_;
+  std::map<topology::ComponentId, SocketCacheStats> cache_stats_;
+  std::unordered_map<topology::ComponentId, std::vector<topology::ComponentId>> socket_dimms_;
+  uint64_t recompute_count_ = 0;
+  bool in_recompute_ = false;
+};
+
+}  // namespace mihn::fabric
+
+#endif  // MIHN_SRC_FABRIC_FABRIC_H_

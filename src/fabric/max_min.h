@@ -1,0 +1,49 @@
+// Weighted max-min fair bandwidth allocation (progressive water-filling).
+//
+// This is the mathematical core of the fluid fabric model: given flows that
+// each traverse a set of capacitated resources, assign rates so that the
+// allocation is weighted max-min fair subject to per-flow demand ceilings.
+// Pure function of its inputs — no simulator types — so the fairness
+// invariants are directly property-testable.
+
+#ifndef MIHN_SRC_FABRIC_MAX_MIN_H_
+#define MIHN_SRC_FABRIC_MAX_MIN_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mihn::fabric {
+
+struct MaxMinFlow {
+  // Relative share weight (> 0). A weight-2 flow receives twice the
+  // bottleneck share of a weight-1 flow.
+  double weight = 1.0;
+  // Demand ceiling in bytes/sec; kUnlimitedDemand for elastic flows.
+  double demand = 0.0;
+  // Indices into the capacity vector of every resource this flow crosses.
+  // Duplicate entries are permitted and deduplicated internally.
+  std::vector<int32_t> links;
+};
+
+inline constexpr double kUnlimitedDemand = 1e30;
+
+// Returns one rate per flow (bytes/sec).
+//
+// Guarantees:
+//  * Feasibility: for every link, sum of rates of flows crossing it does
+//    not exceed its capacity (within floating-point tolerance).
+//  * Demand: no flow exceeds its demand.
+//  * Weighted max-min fairness: a flow's rate can only be below its demand
+//    if it crosses a saturated link on which no other flow has a larger
+//    weight-normalized rate.
+//  * Work conservation: no rate can be increased without violating the
+//    above.
+//
+// Flows crossing a zero-capacity link get rate 0. Complexity O(F * L * I)
+// with I <= number of distinct bottlenecks (<= F).
+std::vector<double> SolveMaxMin(const std::vector<MaxMinFlow>& flows,
+                                const std::vector<double>& capacities);
+
+}  // namespace mihn::fabric
+
+#endif  // MIHN_SRC_FABRIC_MAX_MIN_H_

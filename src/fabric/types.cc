@@ -1,0 +1,19 @@
+#include "src/fabric/types.h"
+
+namespace mihn::fabric {
+
+std::string_view TrafficClassName(TrafficClass klass) {
+  switch (klass) {
+    case TrafficClass::kData:
+      return "data";
+    case TrafficClass::kSpill:
+      return "spill";
+    case TrafficClass::kMonitor:
+      return "monitor";
+    case TrafficClass::kProbe:
+      return "probe";
+  }
+  return "unknown";
+}
+
+}  // namespace mihn::fabric

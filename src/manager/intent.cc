@@ -1,0 +1,54 @@
+#include "src/manager/intent.h"
+
+#include <algorithm>
+
+namespace mihn::manager {
+
+std::string_view ResourceModelName(ResourceModel model) {
+  switch (model) {
+    case ResourceModel::kPipe:
+      return "pipe";
+    case ResourceModel::kHose:
+      return "hose";
+  }
+  return "unknown";
+}
+
+std::vector<LinkRequirement> Interpret(const topology::Path& path, sim::Bandwidth bandwidth) {
+  std::vector<LinkRequirement> requirements;
+  requirements.reserve(path.hops.size());
+  for (const topology::DirectedLink& hop : path.hops) {
+    requirements.push_back(LinkRequirement{hop, bandwidth});
+  }
+  return requirements;
+}
+
+std::map<int32_t, double> AggregateReservations(
+    const std::vector<const Allocation*>& allocations,
+    const std::map<fabric::TenantId, ResourceModel>& models) {
+  // Pipe contributions sum directly; hose contributions take, per
+  // (tenant, link), the max allocation crossing it.
+  std::map<int32_t, double> totals;
+  std::map<std::pair<fabric::TenantId, int32_t>, double> hose_max;
+
+  for (const Allocation* alloc : allocations) {
+    const auto mit = models.find(alloc->tenant);
+    const ResourceModel model = mit == models.end() ? ResourceModel::kPipe : mit->second;
+    const double bw = alloc->target.bandwidth.bytes_per_sec();
+    for (const LinkRequirement& req : Interpret(alloc->path, alloc->target.bandwidth)) {
+      const int32_t index = topology::DirectedIndex(req.link);
+      if (model == ResourceModel::kPipe) {
+        totals[index] += bw;
+      } else {
+        auto& current = hose_max[{alloc->tenant, index}];
+        current = std::max(current, bw);
+      }
+    }
+  }
+  for (const auto& [key, bw] : hose_max) {
+    totals[key.second] += bw;
+  }
+  return totals;
+}
+
+}  // namespace mihn::manager

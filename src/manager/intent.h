@@ -1,0 +1,83 @@
+// Tenants, performance targets, and the target interpreter.
+//
+// Paper §3.2: "The manageable intra-host network needs to 'interpret' the
+// application intent (i.e., performance targets) into a set of low-level
+// requirements based on a resource model." A PerformanceTarget states the
+// intent ("20 Gbps end-to-end between my NIC and my GPU, under 2 us");
+// Interpret() expands it along a concrete path into per-directed-link
+// bandwidth requirements that the scheduler/admission layers operate on.
+//
+// Two resource models are provided (§3.2 Q1):
+//   kPipe — per-(src,dst) reservations are additive on shared links.
+//   kHose — per-tenant reservations on a shared link aggregate as the max:
+//           a hose endpoint cannot drive all of its pairs at full rate
+//           simultaneously, so reserving the max is sufficient (Duffield et
+//           al.'s hose model, cited by the paper as [16]).
+
+#ifndef MIHN_SRC_MANAGER_INTENT_H_
+#define MIHN_SRC_MANAGER_INTENT_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/fabric/types.h"
+#include "src/topology/routing.h"
+
+namespace mihn::manager {
+
+enum class ResourceModel { kPipe, kHose };
+
+std::string_view ResourceModelName(ResourceModel model);
+
+struct Tenant {
+  fabric::TenantId id = fabric::kNoTenant;
+  std::string name;
+  // Relative weight for work-conserving redistribution.
+  double weight = 1.0;
+  ResourceModel model = ResourceModel::kPipe;
+};
+
+struct PerformanceTarget {
+  topology::ComponentId src = topology::kInvalidComponent;
+  topology::ComponentId dst = topology::kInvalidComponent;
+  sim::Bandwidth bandwidth;
+  // Optional latency bound on the (unloaded) path; candidate paths that
+  // exceed it are rejected by the scheduler.
+  std::optional<sim::TimeNs> max_latency;
+};
+
+struct LinkRequirement {
+  topology::DirectedLink link;
+  sim::Bandwidth bandwidth;
+};
+
+using AllocationId = int64_t;
+inline constexpr AllocationId kInvalidAllocation = -1;
+
+// An admitted reservation: a target bound to a concrete path.
+struct Allocation {
+  AllocationId id = kInvalidAllocation;
+  fabric::TenantId tenant = fabric::kNoTenant;
+  PerformanceTarget target;
+  topology::Path path;
+  std::vector<fabric::FlowId> flows;  // Application flows attached to it.
+};
+
+// Expands |bandwidth| along |path|: every hop must reserve the full
+// end-to-end bandwidth (holistic allocation across heterogeneous fabrics).
+std::vector<LinkRequirement> Interpret(const topology::Path& path, sim::Bandwidth bandwidth);
+
+// Aggregates the reservations of a set of allocations into per-directed-
+// link totals, applying each tenant's resource model: pipe allocations add;
+// hose allocations of the same tenant sharing a link contribute their max.
+// |models| maps tenant -> model (absent tenants default to pipe). Keyed by
+// topology::DirectedIndex.
+std::map<int32_t, double> AggregateReservations(
+    const std::vector<const Allocation*>& allocations,
+    const std::map<fabric::TenantId, ResourceModel>& models);
+
+}  // namespace mihn::manager
+
+#endif  // MIHN_SRC_MANAGER_INTENT_H_

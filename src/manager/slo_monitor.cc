@@ -1,0 +1,109 @@
+#include "src/manager/slo_monitor.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace mihn::manager {
+
+SloMonitor::SloMonitor(Manager& manager, fabric::Fabric& fabric, Config config)
+    : manager_(manager), fabric_(fabric), config_(config) {}
+
+void SloMonitor::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  timer_ = fabric_.simulation().SchedulePeriodic(config_.period, [this] { CheckOnce(); });
+}
+
+void SloMonitor::Stop() {
+  running_ = false;
+  timer_.Cancel();
+}
+
+void SloMonitor::CheckOnce() {
+  ++checks_;
+  const sim::TimeNs now = fabric_.simulation().Now();
+  for (const AllocationId id : manager_.AllAllocations()) {
+    const Allocation* alloc = manager_.GetAllocation(id);
+    if (alloc == nullptr || alloc->flows.empty()) {
+      continue;  // Nothing attached: nothing to verify.
+    }
+    Tally& tally = tallies_[id];
+    ++tally.checked;
+    bool passed = true;
+
+    // Bandwidth: only meaningful when the tenant offers enough load.
+    const double promise = alloc->target.bandwidth.bytes_per_sec();
+    double offered = 0.0;
+    double delivered = 0.0;
+    for (const fabric::FlowId flow : alloc->flows) {
+      if (const auto info = fabric_.GetFlowInfo(flow)) {
+        offered += std::min(info->demand.bytes_per_sec(), info->limit.bytes_per_sec());
+        delivered += info->rate.bytes_per_sec();
+      }
+    }
+    const double entitled = std::min(offered, promise);
+    if (entitled > 0.0 && delivered < entitled * config_.bandwidth_tolerance) {
+      passed = false;
+      Violation v;
+      v.at = now;
+      v.allocation = id;
+      v.tenant = alloc->tenant;
+      v.kind = Violation::Kind::kBandwidth;
+      v.expected = entitled;
+      v.actual = delivered;
+      violations_.push_back(v);
+    }
+
+    // Latency bound, if the intent carries one.
+    if (alloc->target.max_latency) {
+      const sim::TimeNs current = fabric_.ProbePathLatency(alloc->path);
+      if (current > *alloc->target.max_latency) {
+        passed = false;
+        Violation v;
+        v.at = now;
+        v.allocation = id;
+        v.tenant = alloc->tenant;
+        v.kind = Violation::Kind::kLatency;
+        v.expected = static_cast<double>(alloc->target.max_latency->nanos());
+        v.actual = static_cast<double>(current.nanos());
+        violations_.push_back(v);
+      }
+    }
+    if (passed) {
+      ++tally.passed;
+    }
+  }
+}
+
+double SloMonitor::Compliance(AllocationId id) const {
+  const auto it = tallies_.find(id);
+  if (it == tallies_.end() || it->second.checked == 0) {
+    return 1.0;
+  }
+  return static_cast<double>(it->second.passed) / static_cast<double>(it->second.checked);
+}
+
+std::string SloMonitor::Render() const {
+  std::ostringstream out;
+  for (const Violation& v : violations_) {
+    char buf[160];
+    if (v.kind == Violation::Kind::kBandwidth) {
+      std::snprintf(buf, sizeof(buf),
+                    "t=%s alloc %lld (tenant %d) bandwidth: entitled %.1f GB/s got %.1f GB/s",
+                    v.at.ToString().c_str(), static_cast<long long>(v.allocation), v.tenant,
+                    v.expected / 1e9, v.actual / 1e9);
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "t=%s alloc %lld (tenant %d) latency: bound %.0f ns measured %.0f ns",
+                    v.at.ToString().c_str(), static_cast<long long>(v.allocation), v.tenant,
+                    v.expected, v.actual);
+    }
+    out << buf << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace mihn::manager

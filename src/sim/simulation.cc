@@ -1,0 +1,84 @@
+#include "src/sim/simulation.h"
+
+#include <utility>
+
+namespace mihn::sim {
+
+Simulation::Simulation(uint64_t seed) : root_rng_(seed) {}
+
+EventHandle Simulation::ScheduleAt(TimeNs at, std::function<void()> fn) {
+  if (at < now_) {
+    at = now_;
+  }
+  auto flag = std::make_shared<bool>(false);
+  queue_.push(Event{at, next_seq_++, std::move(fn), flag});
+  return EventHandle(std::move(flag));
+}
+
+EventHandle Simulation::ScheduleAfter(TimeNs delay, std::function<void()> fn) {
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulation::SchedulePeriodic(TimeNs period, std::function<void()> fn) {
+  auto flag = std::make_shared<bool>(false);
+  // The recursive lambda owns the user callback; each firing re-arms itself
+  // unless the shared cancellation flag has been set.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, period, fn = std::move(fn), flag, tick]() {
+    if (*flag) {
+      return;
+    }
+    fn();
+    if (*flag) {
+      return;
+    }
+    queue_.push(Event{now_ + period, next_seq_++, *tick, flag});
+  };
+  queue_.push(Event{now_ + period, next_seq_++, *tick, flag});
+  return EventHandle(std::move(flag));
+}
+
+bool Simulation::Step() {
+  while (!queue_.empty()) {
+    // priority_queue::top returns const&; the event is copied out before pop
+    // so the callback can schedule new events (which may reallocate the heap).
+    Event ev = queue_.top();
+    queue_.pop();
+    if (ev.cancelled && *ev.cancelled) {
+      continue;
+    }
+    now_ = ev.at;
+    ++events_executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+TimeNs Simulation::Run() {
+  stopped_ = false;
+  while (!stopped_ && Step()) {
+  }
+  return now_;
+}
+
+TimeNs Simulation::RunUntil(TimeNs deadline) {
+  stopped_ = false;
+  while (!stopped_) {
+    if (queue_.empty()) {
+      break;
+    }
+    if (queue_.top().at > deadline) {
+      break;
+    }
+    Step();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return now_;
+}
+
+TimeNs Simulation::RunFor(TimeNs duration) { return RunUntil(now_ + duration); }
+
+}  // namespace mihn::sim

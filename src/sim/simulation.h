@@ -1,0 +1,126 @@
+// The discrete-event simulation engine.
+//
+// Simulation owns the virtual clock and the pending-event queue. Components
+// schedule closures at absolute or relative virtual times; Run() drains the
+// queue in (time, insertion-order) order, advancing the clock to each
+// event's timestamp. Ties are broken by insertion order, which makes runs
+// fully deterministic.
+
+#ifndef MIHN_SRC_SIM_SIMULATION_H_
+#define MIHN_SRC_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/sim/random.h"
+#include "src/sim/time.h"
+
+namespace mihn::sim {
+
+// Cancellation handle for a scheduled event. Copyable; cancelling any copy
+// cancels the event. A default-constructed handle is inert.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  // Prevents the event from firing. Safe to call after the event has fired
+  // or more than once.
+  void Cancel() {
+    if (cancelled_) {
+      *cancelled_ = true;
+    }
+  }
+
+  bool IsCancelled() const { return cancelled_ && *cancelled_; }
+
+ private:
+  friend class Simulation;
+  explicit EventHandle(std::shared_ptr<bool> flag) : cancelled_(std::move(flag)) {}
+
+  std::shared_ptr<bool> cancelled_;
+};
+
+// The event loop. Not thread-safe: a simulation is single-threaded by
+// design (determinism), and benchmarks wanting parallelism run independent
+// Simulation instances.
+class Simulation {
+ public:
+  // |seed| roots every Rng stream forked through ForkRng().
+  explicit Simulation(uint64_t seed = 1);
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  // Current virtual time.
+  TimeNs Now() const { return now_; }
+
+  // Schedules |fn| to run at absolute virtual time |at|. Scheduling in the
+  // past (before Now()) is clamped to Now(): the event fires "immediately"
+  // but still through the queue, preserving run-to-completion semantics.
+  EventHandle ScheduleAt(TimeNs at, std::function<void()> fn);
+
+  // Schedules |fn| to run |delay| after Now().
+  EventHandle ScheduleAfter(TimeNs delay, std::function<void()> fn);
+
+  // Schedules |fn| every |period| starting at Now() + period, until the
+  // returned handle is cancelled or the simulation stops.
+  EventHandle SchedulePeriodic(TimeNs period, std::function<void()> fn);
+
+  // Runs until the queue is empty or Stop() is called. Returns the final
+  // virtual time.
+  TimeNs Run();
+
+  // Runs until virtual time reaches |deadline| (events at exactly |deadline|
+  // are executed), the queue empties, or Stop() is called. The clock is left
+  // at min(deadline, last event time); if the queue emptied early the clock
+  // is advanced to |deadline| so RunUntil composes sequentially.
+  TimeNs RunUntil(TimeNs deadline);
+
+  // RunUntil(Now() + duration).
+  TimeNs RunFor(TimeNs duration);
+
+  // Makes Run()/RunUntil() return after the current event completes.
+  void Stop() { stopped_ = true; }
+
+  // Number of events executed so far (for tests and engine benchmarks).
+  uint64_t events_executed() const { return events_executed_; }
+
+  // Number of events currently pending.
+  size_t pending_events() const { return queue_.size(); }
+
+  // Derives a deterministic named random stream from the root seed.
+  Rng ForkRng(uint64_t stream_id) const { return root_rng_.Fork(stream_id); }
+
+ private:
+  struct Event {
+    TimeNs at;
+    uint64_t seq;  // Insertion order; breaks timestamp ties deterministically.
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) {
+        return a.at > b.at;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops and executes the next event. Returns false if the queue is empty.
+  bool Step();
+
+  TimeNs now_ = TimeNs::Zero();
+  uint64_t next_seq_ = 0;
+  uint64_t events_executed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  Rng root_rng_;
+};
+
+}  // namespace mihn::sim
+
+#endif  // MIHN_SRC_SIM_SIMULATION_H_

@@ -1,0 +1,23 @@
+#include "src/sim/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mihn::sim {
+
+std::string TimeNs::ToString() const {
+  char buf[32];
+  const double abs_ns = std::abs(static_cast<double>(ns_));
+  if (abs_ns < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(ns_));
+  } else if (abs_ns < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", static_cast<double>(ns_) / 1e3);
+  } else if (abs_ns < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", static_cast<double>(ns_) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(ns_) / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace mihn::sim

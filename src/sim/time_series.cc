@@ -1,0 +1,68 @@
+#include "src/sim/time_series.h"
+
+#include <algorithm>
+
+namespace mihn::sim {
+
+TimeSeries::TimeSeries(size_t capacity) : buffer_(std::max<size_t>(capacity, 1)) {}
+
+void TimeSeries::Append(TimeNs time, double value) {
+  if (size_ == buffer_.size()) {
+    buffer_[head_] = TimePoint{time, value};
+    head_ = (head_ + 1) % buffer_.size();
+    ++dropped_;
+  } else {
+    buffer_[(head_ + size_) % buffer_.size()] = TimePoint{time, value};
+    ++size_;
+  }
+}
+
+const TimePoint& TimeSeries::At(size_t i) const { return buffer_[(head_ + i) % buffer_.size()]; }
+
+void TimeSeries::ForEach(const std::function<void(const TimePoint&)>& fn) const {
+  for (size_t i = 0; i < size_; ++i) {
+    fn(At(i));
+  }
+}
+
+RunningStats TimeSeries::StatsSince(TimeNs since) const {
+  RunningStats stats;
+  for (size_t i = 0; i < size_; ++i) {
+    const TimePoint& p = At(i);
+    if (p.time >= since) {
+      stats.Add(p.value);
+    }
+  }
+  return stats;
+}
+
+double TimeSeries::MeanOfLast(size_t n) const {
+  if (size_ == 0) {
+    return 0.0;
+  }
+  const size_t take = std::min(n, size_);
+  double sum = 0.0;
+  for (size_t i = size_ - take; i < size_; ++i) {
+    sum += At(i).value;
+  }
+  return sum / static_cast<double>(take);
+}
+
+std::vector<TimePoint> TimeSeries::Window(TimeNs since) const {
+  std::vector<TimePoint> out;
+  for (size_t i = 0; i < size_; ++i) {
+    const TimePoint& p = At(i);
+    if (p.time >= since) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+void TimeSeries::Clear() {
+  head_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace mihn::sim

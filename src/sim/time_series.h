@@ -1,0 +1,70 @@
+// Fixed-capacity time series (ring buffer of timestamped samples).
+//
+// The telemetry sampler appends one point per sampling tick per metric; the
+// anomaly detectors consume sliding windows. A bounded ring keeps memory
+// flat for arbitrarily long runs — the paper's §3.1 Q2 storage dilemma is
+// modelled explicitly: capacity is a knob, and overflow drops the oldest
+// data (recorded in dropped()).
+
+#ifndef MIHN_SRC_SIM_TIME_SERIES_H_
+#define MIHN_SRC_SIM_TIME_SERIES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/sim/stats.h"
+#include "src/sim/time.h"
+
+namespace mihn::sim {
+
+struct TimePoint {
+  TimeNs time;
+  double value;
+};
+
+class TimeSeries {
+ public:
+  // |capacity| is the maximum number of retained points (>= 1).
+  explicit TimeSeries(size_t capacity = 4096);
+
+  void Append(TimeNs time, double value);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return buffer_.size(); }
+
+  // Number of points evicted due to capacity overflow.
+  uint64_t dropped() const { return dropped_; }
+
+  // i-th retained point, oldest first. Precondition: i < size().
+  const TimePoint& At(size_t i) const;
+
+  const TimePoint& Latest() const { return At(size_ - 1); }
+  const TimePoint& Oldest() const { return At(0); }
+
+  // Visits retained points oldest-first.
+  void ForEach(const std::function<void(const TimePoint&)>& fn) const;
+
+  // Statistics over points with time >= since.
+  RunningStats StatsSince(TimeNs since) const;
+
+  // Mean over the last |n| points (all points if fewer).
+  double MeanOfLast(size_t n) const;
+
+  // Copies points with time >= since, oldest first.
+  std::vector<TimePoint> Window(TimeNs since) const;
+
+  void Clear();
+
+ private:
+  std::vector<TimePoint> buffer_;
+  size_t head_ = 0;  // Index of the oldest element.
+  size_t size_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace mihn::sim
+
+#endif  // MIHN_SRC_SIM_TIME_SERIES_H_

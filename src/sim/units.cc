@@ -1,0 +1,19 @@
+#include "src/sim/units.h"
+
+#include <cstdio>
+
+namespace mihn::sim {
+
+std::string Bandwidth::ToString() const {
+  char buf[32];
+  if (bps_ >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.1fGB/s", bps_ / 1e9);
+  } else if (bps_ >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1fMB/s", bps_ / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fB/s", bps_);
+  }
+  return buf;
+}
+
+}  // namespace mihn::sim

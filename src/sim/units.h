@@ -1,0 +1,77 @@
+// Bandwidth and byte-count units.
+//
+// The paper's Figure 1 mixes GB/s (memory and inter-socket fabrics) and
+// Gbps (PCIe and Ethernet); a strong Bandwidth type avoids the classic
+// factor-of-8 bug when the two meet.
+
+#ifndef MIHN_SRC_SIM_UNITS_H_
+#define MIHN_SRC_SIM_UNITS_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "src/sim/time.h"
+
+namespace mihn::sim {
+
+// A data rate. Internally bytes/second (double; fluid model rates are
+// fractional after max-min sharing).
+class Bandwidth {
+ public:
+  constexpr Bandwidth() = default;
+
+  static constexpr Bandwidth BytesPerSec(double v) { return Bandwidth(v); }
+  // Network convention: 1 Gbps = 1e9 bits/s.
+  static constexpr Bandwidth Gbps(double v) { return Bandwidth(v * 1e9 / 8.0); }
+  static constexpr Bandwidth Mbps(double v) { return Bandwidth(v * 1e6 / 8.0); }
+  // Memory convention: 1 GB/s = 1e9 bytes/s.
+  static constexpr Bandwidth GBps(double v) { return Bandwidth(v * 1e9); }
+  static constexpr Bandwidth Zero() { return Bandwidth(0); }
+
+  constexpr double bytes_per_sec() const { return bps_; }
+  constexpr double ToGbps() const { return bps_ * 8.0 / 1e9; }
+  constexpr double ToGBps() const { return bps_ / 1e9; }
+
+  constexpr bool IsZero() const { return bps_ <= 0.0; }
+
+  // Time to move |bytes| at this rate. Returns TimeNs::Max() for zero rate.
+  TimeNs TransferTime(int64_t bytes) const {
+    if (bps_ <= 0.0) {
+      return TimeNs::Max();
+    }
+    return TimeNs::FromSecondsF(static_cast<double>(bytes) / bps_);
+  }
+
+  constexpr Bandwidth operator+(Bandwidth o) const { return Bandwidth(bps_ + o.bps_); }
+  constexpr Bandwidth operator-(Bandwidth o) const { return Bandwidth(bps_ - o.bps_); }
+  constexpr Bandwidth operator*(double k) const { return Bandwidth(bps_ * k); }
+  constexpr Bandwidth operator/(double k) const { return Bandwidth(bps_ / k); }
+  constexpr double operator/(Bandwidth o) const { return bps_ / o.bps_; }
+  Bandwidth& operator+=(Bandwidth o) {
+    bps_ += o.bps_;
+    return *this;
+  }
+  Bandwidth& operator-=(Bandwidth o) {
+    bps_ -= o.bps_;
+    return *this;
+  }
+
+  constexpr auto operator<=>(const Bandwidth&) const = default;
+
+  // Auto-unit rendering, e.g. "25.0GB/s" or "200.0Gbps".
+  std::string ToString() const;
+
+ private:
+  explicit constexpr Bandwidth(double bps) : bps_(bps) {}
+
+  double bps_ = 0.0;
+};
+
+constexpr int64_t KiB(int64_t n) { return n * 1024; }
+constexpr int64_t MiB(int64_t n) { return n * 1024 * 1024; }
+constexpr int64_t GiB(int64_t n) { return n * 1024 * 1024 * 1024; }
+
+}  // namespace mihn::sim
+
+#endif  // MIHN_SRC_SIM_UNITS_H_

@@ -1,0 +1,167 @@
+#include "src/telemetry/collector.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace mihn::telemetry {
+namespace {
+
+std::string DirName(bool forward) { return forward ? "fwd" : "rev"; }
+
+}  // namespace
+
+Collector::Collector(fabric::Fabric& fabric, Config config)
+    : fabric_(fabric), config_(std::move(config)) {
+  if (config_.granularity == Granularity::kCoarse && config_.period < kCoarseMinPeriod) {
+    // Hardware counters cannot be read faster than their access frequency
+    // allows (paper §3.1 Q1: "the access frequency ... is usually limited").
+    config_.period = kCoarseMinPeriod;
+  }
+}
+
+void Collector::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  timer_ = fabric_.simulation().SchedulePeriodic(config_.period, [this] { SampleOnce(); });
+}
+
+void Collector::Stop() {
+  running_ = false;
+  timer_.Cancel();
+}
+
+void Collector::Record(const std::string& key, double value) {
+  auto it = series_.find(key);
+  if (it == series_.end()) {
+    it = series_.emplace(key, sim::TimeSeries(config_.series_capacity)).first;
+  }
+  it->second.Append(fabric_.simulation().Now(), value);
+  ++last_tick_metrics_;
+}
+
+void Collector::SampleOnce() {
+  ++samples_taken_;
+  last_tick_metrics_ = 0;
+  const bool fine = config_.granularity == Granularity::kFine;
+
+  const sim::TimeNs now = fabric_.simulation().Now();
+  const double dt = (now - last_sample_time_).ToSecondsF();
+  for (const fabric::LinkSnapshot& snap : fabric_.SnapshotAll()) {
+    Record(LinkUtilKey(snap.link, snap.forward), snap.utilization);
+    Record(LinkRateKey(snap.link, snap.forward), snap.rate_bps);
+    Record(LinkBytesKey(snap.link, snap.forward), snap.bytes_total);
+    // Byte-delta throughput: covers fluid AND packet traffic.
+    const int32_t index = topology::DirectedIndex({snap.link, snap.forward});
+    double& prev = prev_bytes_[index];
+    const double thpt = (dt > 0.0 && samples_taken_ > 1) ? (snap.bytes_total - prev) / dt : 0.0;
+    prev = snap.bytes_total;
+    Record(LinkThroughputKey(snap.link, snap.forward), thpt);
+    if (fine) {
+      for (const auto& [tenant, rate] : snap.rate_by_tenant_bps) {
+        Record(TenantRateKey(snap.link, snap.forward, tenant), rate);
+      }
+      for (int k = 0; k < fabric::kNumTrafficClasses; ++k) {
+        const double rate = snap.rate_by_class_bps[static_cast<size_t>(k)];
+        if (rate > 0.0) {
+          Record(ClassRateKey(snap.link, snap.forward, static_cast<fabric::TrafficClass>(k)),
+                 rate);
+        }
+      }
+    }
+  }
+  if (fine) {
+    for (const topology::ComponentId socket :
+         fabric_.topo().ComponentsOfKind(topology::ComponentKind::kCpuSocket)) {
+      const fabric::SocketCacheStats stats = fabric_.CacheStats(socket);
+      Record(CacheHitKey(socket), stats.hit_rate);
+      Record(CacheSpillKey(socket), stats.spill_rate_bps);
+    }
+  }
+
+  last_sample_time_ = now;
+
+  // Q2: ship the encoded samples across the fabric to the collection point.
+  if (config_.report_to != topology::kInvalidComponent) {
+    if (!report_path_resolved_) {
+      topology::ComponentId from = config_.report_from;
+      if (from == topology::kInvalidComponent) {
+        const auto sockets =
+            fabric_.topo().ComponentsOfKind(topology::ComponentKind::kCpuSocket);
+        if (!sockets.empty()) {
+          from = sockets.front();
+        }
+      }
+      if (from != topology::kInvalidComponent && from != config_.report_to) {
+        if (auto p = fabric_.Route(from, config_.report_to)) {
+          report_path_ = std::move(*p);
+        }
+      }
+      report_path_resolved_ = true;
+    }
+    if (!report_path_.empty()) {
+      const int64_t bytes =
+          static_cast<int64_t>(last_tick_metrics_) * config_.bytes_per_sample;
+      fabric::PacketSpec pkt;
+      pkt.path = report_path_;
+      pkt.bytes = bytes;
+      pkt.klass = fabric::TrafficClass::kMonitor;
+      fabric_.SendPacket(std::move(pkt));
+      bytes_reported_ += bytes;
+    }
+  }
+}
+
+const sim::TimeSeries* Collector::Series(const std::string& key) const {
+  const auto it = series_.find(key);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Collector::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(series_.size());
+  for (const auto& [key, unused] : series_) {
+    keys.push_back(key);
+  }
+  return keys;
+}
+
+uint64_t Collector::total_dropped_points() const {
+  uint64_t dropped = 0;
+  for (const auto& [key, ts] : series_) {
+    dropped += ts.dropped();
+  }
+  return dropped;
+}
+
+std::string Collector::LinkUtilKey(topology::LinkId link, bool forward) {
+  return "link/" + std::to_string(link) + "/" + DirName(forward) + "/util";
+}
+std::string Collector::LinkRateKey(topology::LinkId link, bool forward) {
+  return "link/" + std::to_string(link) + "/" + DirName(forward) + "/rate";
+}
+std::string Collector::LinkBytesKey(topology::LinkId link, bool forward) {
+  return "link/" + std::to_string(link) + "/" + DirName(forward) + "/bytes";
+}
+std::string Collector::LinkThroughputKey(topology::LinkId link, bool forward) {
+  return "link/" + std::to_string(link) + "/" + DirName(forward) + "/thpt";
+}
+std::string Collector::TenantRateKey(topology::LinkId link, bool forward,
+                                     fabric::TenantId tenant) {
+  return "link/" + std::to_string(link) + "/" + DirName(forward) + "/tenant/" +
+         std::to_string(tenant) + "/rate";
+}
+std::string Collector::ClassRateKey(topology::LinkId link, bool forward,
+                                    fabric::TrafficClass k) {
+  return "link/" + std::to_string(link) + "/" + DirName(forward) + "/class/" +
+         std::string(fabric::TrafficClassName(k)) + "/rate";
+}
+std::string Collector::CacheHitKey(topology::ComponentId socket) {
+  return "socket/" + std::to_string(socket) + "/cache_hit";
+}
+std::string Collector::CacheSpillKey(topology::ComponentId socket) {
+  return "socket/" + std::to_string(socket) + "/cache_spill";
+}
+
+}  // namespace mihn::telemetry

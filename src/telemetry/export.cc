@@ -1,0 +1,23 @@
+#include "src/telemetry/export.h"
+
+namespace mihn::telemetry {
+
+size_t WriteCsv(const Collector& collector, std::ostream& out,
+                const std::vector<std::string>& keys) {
+  out << "time_ns,metric,value\n";
+  size_t rows = 0;
+  const std::vector<std::string> selected = keys.empty() ? collector.Keys() : keys;
+  for (const std::string& key : selected) {
+    const sim::TimeSeries* series = collector.Series(key);
+    if (series == nullptr) {
+      continue;
+    }
+    series->ForEach([&](const sim::TimePoint& p) {
+      out << p.time.nanos() << "," << key << "," << p.value << "\n";
+      ++rows;
+    });
+  }
+  return rows;
+}
+
+}  // namespace mihn::telemetry

@@ -1,0 +1,65 @@
+// Path computation over a Topology.
+//
+// The fabric routes each flow along one Path; the manager's topology-aware
+// scheduler (paper §3.2: "several GPU-SSD pathways ... choose one of the
+// pathways based on topology and usage") enumerates alternatives with
+// KShortestPaths and picks by residual capacity.
+
+#ifndef MIHN_SRC_TOPOLOGY_ROUTING_H_
+#define MIHN_SRC_TOPOLOGY_ROUTING_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+#include "src/sim/units.h"
+#include "src/topology/topology.h"
+
+namespace mihn::topology {
+
+// A simple (loop-free) path: nodes[0] = source, nodes.back() = destination,
+// hops[i] crosses from nodes[i] to nodes[i+1].
+struct Path {
+  std::vector<ComponentId> nodes;
+  std::vector<DirectedLink> hops;
+
+  bool empty() const { return hops.empty(); }
+  ComponentId source() const { return nodes.front(); }
+  ComponentId destination() const { return nodes.back(); }
+
+  // Sum of per-hop base latencies (unloaded end-to-end latency).
+  sim::TimeNs BaseLatency(const Topology& topo) const;
+
+  // Capacity of the narrowest hop (unloaded achievable bandwidth).
+  sim::Bandwidth BottleneckCapacity(const Topology& topo) const;
+
+  // True if |link| (either direction) is on this path.
+  bool Uses(LinkId link) const;
+
+  // "nic0 -> s0.rp0 -> s0" rendering.
+  std::string ToString(const Topology& topo) const;
+
+  bool operator==(const Path&) const = default;
+};
+
+class Router {
+ public:
+  explicit Router(const Topology& topo) : topo_(topo) {}
+
+  // Lowest-total-base-latency path (Dijkstra). nullopt if unreachable or
+  // src == dst. |excluded_links| are treated as absent.
+  std::optional<Path> ShortestPath(ComponentId src, ComponentId dst,
+                                   const std::vector<LinkId>& excluded_links = {}) const;
+
+  // Up to |k| loop-free paths in nondecreasing base-latency order (Yen's
+  // algorithm). Deterministic: ties broken by node-id sequence.
+  std::vector<Path> KShortestPaths(ComponentId src, ComponentId dst, int k) const;
+
+ private:
+  const Topology& topo_;
+};
+
+}  // namespace mihn::topology
+
+#endif  // MIHN_SRC_TOPOLOGY_ROUTING_H_

@@ -1,0 +1,44 @@
+// Topology serialization: a line-oriented text format (round-trippable) and
+// a Graphviz DOT exporter. Operators describe real hosts in the text format
+// and load them instead of using the built-in presets:
+//
+//   # comment
+//   component <name> <kind> [socket=<socket-name>]
+//   link <a> <b> <kind> [gbps=<double>] [ns=<int64>]
+//
+// Kinds use the canonical names from ComponentKindName()/LinkKindName().
+// Omitted link attributes fall back to DefaultLinkSpec(kind).
+
+#ifndef MIHN_SRC_TOPOLOGY_SERIALIZE_H_
+#define MIHN_SRC_TOPOLOGY_SERIALIZE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/topology/topology.h"
+
+namespace mihn::topology {
+
+// Serializes to the text format; FromText(ToText(t)) reconstructs an
+// equivalent topology (same names, kinds, links, specs).
+std::string ToText(const Topology& topo);
+
+struct ParseResult {
+  std::optional<Topology> topology;  // Set on success.
+  std::string error;                 // Non-empty on failure, cites the line.
+
+  bool ok() const { return topology.has_value(); }
+};
+
+// Parses the text format. The result is syntactically valid but NOT
+// structurally validated — call Topology::Validate() on the result.
+ParseResult FromText(std::string_view text);
+
+// Graphviz rendering (undirected), one node per component labelled with its
+// kind, edges labelled capacity/latency.
+std::string ToDot(const Topology& topo);
+
+}  // namespace mihn::topology
+
+#endif  // MIHN_SRC_TOPOLOGY_SERIALIZE_H_

@@ -1,0 +1,99 @@
+#include "src/workload/allreduce.h"
+
+#include <utility>
+
+namespace mihn::workload {
+
+RingAllReduce::RingAllReduce(fabric::Fabric& fabric, Config config)
+    : fabric_(fabric), config_(std::move(config)) {
+  const size_t n = config_.gpus.size();
+  if (n < 2) {
+    return;
+  }
+  ring_paths_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto path = fabric_.Route(config_.gpus[i], config_.gpus[(i + 1) % n]);
+    if (!path) {
+      ring_paths_.clear();
+      return;
+    }
+    ring_paths_.push_back(std::move(*path));
+  }
+}
+
+void RingAllReduce::Start() {
+  if (running_ || ring_paths_.empty()) {
+    return;
+  }
+  running_ = true;
+  ++generation_;
+  BeginIteration();
+}
+
+void RingAllReduce::Stop() {
+  running_ = false;
+  ++generation_;
+  for (const fabric::FlowId id : active_) {
+    fabric_.StopFlow(id);
+  }
+  active_.clear();
+  pending_transfers_ = 0;
+}
+
+void RingAllReduce::BeginIteration() {
+  if (!running_) {
+    return;
+  }
+  RunStep(0, fabric_.simulation().Now());
+}
+
+void RingAllReduce::RunStep(int step, sim::TimeNs comm_start) {
+  if (!running_) {
+    return;
+  }
+  const int n = static_cast<int>(ring_paths_.size());
+  const int total_steps = 2 * (n - 1);
+  if (step >= total_steps) {
+    const sim::TimeNs comm = fabric_.simulation().Now() - comm_start;
+    comm_ms_.Add(comm.ToMillisF());
+    const double secs = comm.ToSecondsF();
+    last_bus_gbps_ =
+        secs > 0 ? 2.0 * (n - 1) / n * static_cast<double>(config_.tensor_bytes) / secs / 1e9
+                 : 0.0;
+    const uint64_t gen = generation_;
+    fabric_.simulation().ScheduleAfter(config_.compute_time, [this, gen] {
+      if (gen == generation_) {
+        BeginIteration();
+      }
+    });
+    return;
+  }
+  // One chunk from every GPU to its successor, all concurrent; the step is
+  // barrier-synchronized on the slowest transfer (the ring's defining
+  // property — one slow inter-socket edge gates all N GPUs).
+  const int64_t chunk = config_.tensor_bytes / n;
+  pending_transfers_ = n;
+  active_.clear();
+  const uint64_t gen = generation_;
+  for (const topology::Path& path : ring_paths_) {
+    fabric::TransferSpec spec;
+    spec.flow.path = path;
+    spec.flow.tenant = config_.tenant;
+    spec.bytes = chunk;
+    spec.on_complete = [this, step, comm_start, gen](const fabric::TransferResult&) {
+      if (gen != generation_) {
+        return;
+      }
+      if (--pending_transfers_ == 0) {
+        active_.clear();
+        RunStep(step + 1, comm_start);
+      }
+    };
+    const fabric::FlowId id = fabric_.StartTransfer(std::move(spec));
+    if (id != fabric::kInvalidFlow) {
+      active_.push_back(id);
+    }
+  }
+}
+
+}  // namespace mihn::workload

@@ -1,0 +1,212 @@
+#include "src/workload/sources.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace mihn::workload {
+
+// -- StreamSource -------------------------------------------------------------
+
+StreamSource::StreamSource(fabric::Fabric& fabric, Config config)
+    : fabric_(fabric), config_(std::move(config)) {}
+
+void StreamSource::Start() {
+  if (running_) {
+    return;
+  }
+  auto path = fabric_.Route(config_.src, config_.dst);
+  if (!path) {
+    return;
+  }
+  fabric::FlowSpec spec;
+  spec.path = std::move(*path);
+  spec.tenant = config_.tenant;
+  spec.demand = config_.demand;
+  spec.weight = config_.weight;
+  spec.ddio_write = config_.ddio_write;
+  flow_ = fabric_.StartFlow(std::move(spec));
+  running_ = flow_ != fabric::kInvalidFlow;
+}
+
+void StreamSource::Stop() {
+  if (flow_ != fabric::kInvalidFlow) {
+    fabric_.StopFlow(flow_);
+    flow_ = fabric::kInvalidFlow;
+  }
+  running_ = false;
+}
+
+// -- LoopbackRdma -------------------------------------------------------------
+
+LoopbackRdma::LoopbackRdma(fabric::Fabric& fabric, Config config)
+    : fabric_(fabric), config_(std::move(config)) {}
+
+void LoopbackRdma::Start() {
+  if (running_) {
+    return;
+  }
+  auto read_path = fabric_.Route(config_.socket, config_.nic);
+  auto write_path = fabric_.Route(config_.nic, config_.socket);
+  if (!read_path || !write_path) {
+    return;
+  }
+  fabric::FlowSpec read;
+  read.path = std::move(*read_path);
+  read.tenant = config_.tenant;
+  read.demand = config_.demand;
+  read_flow_ = fabric_.StartFlow(std::move(read));
+
+  fabric::FlowSpec write;
+  write.path = std::move(*write_path);
+  write.tenant = config_.tenant;
+  write.demand = config_.demand;
+  write.ddio_write = true;  // Loopback receive lands in host memory via DDIO.
+  write_flow_ = fabric_.StartFlow(std::move(write));
+  running_ = true;
+}
+
+void LoopbackRdma::Stop() {
+  for (fabric::FlowId* f : {&read_flow_, &write_flow_}) {
+    if (*f != fabric::kInvalidFlow) {
+      fabric_.StopFlow(*f);
+      *f = fabric::kInvalidFlow;
+    }
+  }
+  running_ = false;
+}
+
+// -- PoissonSource ------------------------------------------------------------
+
+PoissonSource::PoissonSource(fabric::Fabric& fabric, Config config)
+    : fabric_(fabric),
+      config_(std::move(config)),
+      rng_(fabric.simulation().ForkRng(config_.rng_stream)) {
+  if (auto p = fabric_.Route(config_.src, config_.dst)) {
+    path_ = std::move(*p);
+  }
+}
+
+void PoissonSource::Start() {
+  if (running_ || path_.empty() || config_.arrivals_per_sec <= 0) {
+    return;
+  }
+  running_ = true;
+  ++generation_;
+  ScheduleNext();
+}
+
+void PoissonSource::Stop() {
+  running_ = false;
+  ++generation_;
+  next_arrival_.Cancel();
+}
+
+int64_t PoissonSource::DrawBytes() {
+  if (config_.pareto_alpha <= 0.0) {
+    return config_.mean_bytes;
+  }
+  // Bounded Pareto spanning [mean/10, mean*100]; heavy-tailed around the
+  // configured mean-ish scale.
+  const double lo = static_cast<double>(config_.mean_bytes) / 10.0;
+  const double hi = static_cast<double>(config_.mean_bytes) * 100.0;
+  return std::max<int64_t>(1, static_cast<int64_t>(rng_.BoundedPareto(lo, hi,
+                                                                      config_.pareto_alpha)));
+}
+
+void PoissonSource::ScheduleNext() {
+  if (!running_) {
+    return;
+  }
+  const double gap_s = rng_.Exponential(config_.arrivals_per_sec);
+  const uint64_t gen = generation_;
+  next_arrival_ =
+      fabric_.simulation().ScheduleAfter(sim::TimeNs::FromSecondsF(gap_s), [this, gen] {
+        if (gen != generation_) {
+          return;
+        }
+        const sim::TimeNs issued = fabric_.simulation().Now();
+        fabric::TransferSpec spec;
+        spec.flow.path = path_;
+        spec.flow.tenant = config_.tenant;
+        spec.flow.ddio_write = config_.ddio_write;
+        spec.bytes = DrawBytes();
+        spec.on_complete = [this, issued, gen](const fabric::TransferResult&) {
+          if (gen == generation_) {
+            sojourn_us_.Add((fabric_.simulation().Now() - issued).ToMicrosF());
+          }
+        };
+        ++started_;
+        fabric_.StartTransfer(std::move(spec));
+        ScheduleNext();
+      });
+}
+
+// -- BurstySource -------------------------------------------------------------
+
+BurstySource::BurstySource(fabric::Fabric& fabric, Config config)
+    : fabric_(fabric),
+      config_(std::move(config)),
+      rng_(fabric.simulation().ForkRng(config_.rng_stream)) {
+  if (auto p = fabric_.Route(config_.src, config_.dst)) {
+    path_ = std::move(*p);
+  }
+}
+
+void BurstySource::Start() {
+  if (running_ || path_.empty()) {
+    return;
+  }
+  running_ = true;
+  ++generation_;
+  EnterOn();
+}
+
+void BurstySource::Stop() {
+  running_ = false;
+  ++generation_;
+  pending_.Cancel();
+  if (flow_ != fabric::kInvalidFlow) {
+    fabric_.StopFlow(flow_);
+    flow_ = fabric::kInvalidFlow;
+  }
+}
+
+void BurstySource::EnterOn() {
+  if (!running_) {
+    return;
+  }
+  fabric::FlowSpec spec;
+  spec.path = path_;
+  spec.tenant = config_.tenant;
+  spec.demand = config_.on_demand;
+  spec.ddio_write = config_.ddio_write;
+  flow_ = fabric_.StartFlow(std::move(spec));
+  ++bursts_;
+  const double on_s = rng_.Exponential(1.0 / config_.mean_on.ToSecondsF());
+  const uint64_t gen = generation_;
+  pending_ = fabric_.simulation().ScheduleAfter(sim::TimeNs::FromSecondsF(on_s), [this, gen] {
+    if (gen == generation_) {
+      EnterOff();
+    }
+  });
+}
+
+void BurstySource::EnterOff() {
+  if (flow_ != fabric::kInvalidFlow) {
+    fabric_.StopFlow(flow_);
+    flow_ = fabric::kInvalidFlow;
+  }
+  if (!running_) {
+    return;
+  }
+  const double off_s = rng_.Exponential(1.0 / config_.mean_off.ToSecondsF());
+  const uint64_t gen = generation_;
+  pending_ = fabric_.simulation().ScheduleAfter(sim::TimeNs::FromSecondsF(off_s), [this, gen] {
+    if (gen == generation_) {
+      EnterOn();
+    }
+  });
+}
+
+}  // namespace mihn::workload

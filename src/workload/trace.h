@@ -1,0 +1,80 @@
+// Workload traces: a serializable list of timed transfers, and a replayer.
+//
+// DESIGN.md's substitution log notes we have no production traces; this is
+// the container a deployment would drop them into. A trace is a CSV of
+// (time, src, dst, bytes, tenant, ddio) rows; TraceReplayer schedules each
+// transfer at its offset from Start() (optionally time-scaled) and records
+// completion latency. Synthetic generators or real captures both fit.
+
+#ifndef MIHN_SRC_WORKLOAD_TRACE_H_
+#define MIHN_SRC_WORKLOAD_TRACE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/fabric/fabric.h"
+#include "src/sim/stats.h"
+#include "src/workload/workload.h"
+
+namespace mihn::workload {
+
+struct TraceEvent {
+  sim::TimeNs at;    // Offset from trace start.
+  std::string src;   // Component names (portable across topology rebuilds).
+  std::string dst;
+  int64_t bytes = 0;
+  fabric::TenantId tenant = fabric::kNoTenant;
+  bool ddio_write = false;
+
+  bool operator==(const TraceEvent&) const = default;
+};
+
+// CSV with header "at_ns,src,dst,bytes,tenant,ddio"; one row per event.
+std::string TraceToCsv(const std::vector<TraceEvent>& events);
+
+struct TraceParseResult {
+  std::vector<TraceEvent> events;
+  std::string error;  // Non-empty on failure (cites the line).
+
+  bool ok() const { return error.empty(); }
+};
+
+// Parses TraceToCsv output (header required, blank lines ignored).
+TraceParseResult TraceFromCsv(std::string_view text);
+
+// Replays a trace against a fabric. Unresolvable component names or
+// unroutable pairs are counted in skipped() rather than failing the run.
+class TraceReplayer : public Workload {
+ public:
+  struct Config {
+    std::vector<TraceEvent> events;
+    // > 1 slows the trace down, < 1 speeds it up.
+    double time_scale = 1.0;
+    std::string name = "trace";
+  };
+
+  TraceReplayer(fabric::Fabric& fabric, Config config);
+
+  void Start() override;
+  void Stop() override;
+  std::string name() const override { return config_.name; }
+
+  int64_t issued() const { return issued_; }
+  int64_t skipped() const { return skipped_; }
+  const sim::Histogram& sojourn_us() const { return sojourn_us_; }
+  int64_t completed() const { return sojourn_us_.count(); }
+
+ private:
+  fabric::Fabric& fabric_;
+  Config config_;
+  sim::Histogram sojourn_us_;
+  int64_t issued_ = 0;
+  int64_t skipped_ = 0;
+  std::vector<sim::EventHandle> pending_;
+  uint64_t generation_ = 0;
+};
+
+}  // namespace mihn::workload
+
+#endif  // MIHN_SRC_WORKLOAD_TRACE_H_

@@ -1,0 +1,183 @@
+#include "src/anomaly/detectors.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/random.h"
+
+namespace mihn::anomaly {
+namespace {
+
+using sim::TimeNs;
+
+TimeNs T(int i) { return TimeNs::Micros(i); }
+
+TEST(ThresholdDetectorTest, FiresOutsideBand) {
+  ThresholdDetector d(0.1, 0.9);
+  EXPECT_FALSE(d.Observe(T(0), 0.5).has_value());
+  EXPECT_FALSE(d.Observe(T(1), 0.1).has_value());
+  const auto high = d.Observe(T(2), 0.95);
+  ASSERT_TRUE(high.has_value());
+  EXPECT_EQ(high->detail, "above threshold");
+  const auto low = d.Observe(T(3), 0.05);
+  ASSERT_TRUE(low.has_value());
+  EXPECT_EQ(low->detail, "below threshold");
+}
+
+TEST(EwmaDetectorTest, NoFireOnSteadySignal) {
+  // k=6: with 500 Gaussian samples the false-positive probability is
+  // negligible (k=4 would fire ~3% of the time over a run this long).
+  EwmaDetector d(0.1, 6.0, 8);
+  sim::Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const auto fired = d.Observe(T(i), 10.0 + rng.Normal(0.0, 0.5));
+    EXPECT_FALSE(fired.has_value()) << "at " << i;
+  }
+}
+
+TEST(EwmaDetectorTest, FiresOnStepChange) {
+  EwmaDetector d(0.1, 4.0, 8);
+  sim::Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    d.Observe(T(i), 10.0 + rng.Normal(0.0, 0.5));
+  }
+  bool fired = false;
+  for (int i = 100; i < 110; ++i) {
+    if (d.Observe(T(i), 30.0 + rng.Normal(0.0, 0.5))) {
+      fired = true;
+    }
+  }
+  EXPECT_TRUE(fired);
+}
+
+TEST(EwmaDetectorTest, AnomalyDoesNotPoisonBaseline) {
+  EwmaDetector d(0.2, 4.0, 8);
+  sim::Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    d.Observe(T(i), 10.0 + rng.Normal(0.0, 0.3));
+  }
+  const double mean_before = d.mean();
+  // A sustained shift keeps firing because the baseline is frozen against
+  // anomalous samples.
+  int fires = 0;
+  for (int i = 50; i < 70; ++i) {
+    if (d.Observe(T(i), 100.0)) {
+      ++fires;
+    }
+  }
+  EXPECT_EQ(fires, 20);
+  EXPECT_NEAR(d.mean(), mean_before, 1.0);
+}
+
+TEST(EwmaDetectorTest, ResetForgets) {
+  EwmaDetector d(0.5, 3.0, 4);
+  for (int i = 0; i < 20; ++i) {
+    d.Observe(T(i), 10.0 + (i % 2 ? 0.2 : -0.2));
+  }
+  d.Reset();
+  // First post-reset sample can't fire (no baseline).
+  EXPECT_FALSE(d.Observe(T(100), 1000.0).has_value());
+}
+
+TEST(ZScoreDetectorTest, FiresOnSpike) {
+  ZScoreDetector d(32, 4.0);
+  sim::Rng rng(8);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_FALSE(d.Observe(T(i), 5.0 + rng.Normal(0.0, 0.2)).has_value());
+  }
+  const auto fired = d.Observe(T(64), 20.0);
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_GT(fired->score, 4.0);
+}
+
+TEST(ZScoreDetectorTest, WindowForgetsOldRegime) {
+  ZScoreDetector d(16, 4.0);
+  sim::Rng rng(9);
+  for (int i = 0; i < 32; ++i) {
+    d.Observe(T(i), 5.0 + rng.Normal(0.0, 0.2));
+  }
+  // Jump to a new level: fires initially...
+  bool fired_initially = false;
+  for (int i = 32; i < 36; ++i) {
+    if (d.Observe(T(i), 50.0 + rng.Normal(0.0, 0.2))) {
+      fired_initially = true;
+    }
+  }
+  EXPECT_TRUE(fired_initially);
+  // ...then adapts once the window fills with the new level.
+  for (int i = 36; i < 64; ++i) {
+    d.Observe(T(i), 50.0 + rng.Normal(0.0, 0.2));
+  }
+  EXPECT_FALSE(d.Observe(T(64), 50.0).has_value());
+}
+
+TEST(ZScoreDetectorTest, ConstantSignalNeverFires) {
+  ZScoreDetector d(16, 3.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(d.Observe(T(i), 7.0).has_value());
+  }
+}
+
+TEST(CusumDetectorTest, DetectsSlowDrift) {
+  CusumDetector d(0.5, 8.0, 32);
+  sim::Rng rng(10);
+  for (int i = 0; i < 32; ++i) {
+    d.Observe(T(i), 100.0 + rng.Normal(0.0, 1.0));
+  }
+  // Drift upward by 0.5 sigma per step — too slow for a spike detector.
+  bool fired = false;
+  int fired_at = -1;
+  for (int i = 0; i < 100; ++i) {
+    const double drift = 100.0 + 0.5 * i + rng.Normal(0.0, 1.0);
+    if (d.Observe(T(32 + i), drift)) {
+      fired = true;
+      fired_at = i;
+      break;
+    }
+  }
+  EXPECT_TRUE(fired);
+  EXPECT_LT(fired_at, 40);
+}
+
+TEST(CusumDetectorTest, DetectsDownwardShift) {
+  CusumDetector d(0.5, 6.0, 16);
+  for (int i = 0; i < 16; ++i) {
+    d.Observe(T(i), 50.0 + (i % 2 ? 1.0 : -1.0));
+  }
+  bool fired = false;
+  for (int i = 16; i < 60 && !fired; ++i) {
+    const auto a = d.Observe(T(i), 40.0);
+    if (a) {
+      fired = true;
+      EXPECT_EQ(a->detail, "cusum downward shift");
+    }
+  }
+  EXPECT_TRUE(fired);
+}
+
+TEST(CusumDetectorTest, SteadySignalStaysQuiet) {
+  // Long warmup tightens the sigma estimate; h=12 pushes the in-control
+  // average run length far beyond the 1000 samples observed here.
+  CusumDetector d(0.5, 12.0, 200);
+  sim::Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(d.Observe(T(i), 100.0 + rng.Normal(0.0, 2.0)).has_value()) << i;
+  }
+}
+
+TEST(CusumDetectorTest, ResetsAfterFiring) {
+  CusumDetector d(0.25, 4.0, 8);
+  for (int i = 0; i < 8; ++i) {
+    d.Observe(T(i), 10.0 + (i % 2 ? 0.5 : -0.5));
+  }
+  int fires = 0;
+  for (int i = 8; i < 100; ++i) {
+    if (d.Observe(T(i), 20.0)) {
+      ++fires;
+    }
+  }
+  // Fires, resets its sums, accumulates again, fires again...
+  EXPECT_GT(fires, 1);
+}
+
+}  // namespace
+}  // namespace mihn::anomaly

@@ -1,0 +1,160 @@
+#include "src/anomaly/heartbeat.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/host_network.h"
+
+namespace mihn::anomaly {
+namespace {
+
+using sim::TimeNs;
+
+HostNetwork::Options Quiet() {
+  HostNetwork::Options options;
+  options.start_collector = false;
+  options.start_manager = false;
+  return options;
+}
+
+TEST(HeartbeatTest, BuildsAllOrderedPairs) {
+  HostNetwork host(Quiet());
+  auto mesh = host.MakeHeartbeatMesh();
+  const size_t n = host.Devices().size();
+  EXPECT_EQ(mesh->pair_count(), n * (n - 1));
+}
+
+TEST(HeartbeatTest, NoAlarmsOnHealthyFabric) {
+  HostNetwork host(Quiet());
+  HeartbeatMesh::Config config;
+  config.period = TimeNs::Millis(1);
+  auto mesh = host.MakeHeartbeatMesh(config);
+  mesh->Start();
+  host.RunFor(TimeNs::Millis(50));
+  EXPECT_TRUE(mesh->Alarms().empty());
+  EXPECT_FALSE(mesh->first_alarm_at().has_value());
+  EXPECT_GT(mesh->probes_sent(), 0u);
+}
+
+TEST(HeartbeatTest, DetectsSilentLatencyFault) {
+  HostNetwork host(Quiet());
+  HeartbeatMesh::Config config;
+  config.period = TimeNs::Millis(1);
+  auto mesh = host.MakeHeartbeatMesh(config);
+  mesh->Start();
+  host.RunFor(TimeNs::Millis(20));  // Learn baselines.
+
+  // Silent degradation on nic0's switch downlink: +5us latency, no error
+  // counter anywhere.
+  const auto path = *host.fabric().Route(host.server().nics[0], host.server().sockets[0]);
+  const topology::LinkId bad_link = path.hops[0].link;
+  host.fabric().InjectLinkFault(bad_link, fabric::LinkFault{1.0, TimeNs::Micros(5)});
+
+  host.RunFor(TimeNs::Millis(20));
+  ASSERT_FALSE(mesh->Alarms().empty());
+  ASSERT_TRUE(mesh->first_alarm_at().has_value());
+  EXPECT_GT(*mesh->first_alarm_at(), TimeNs::Millis(20));
+  EXPECT_LT(*mesh->first_alarm_at(), TimeNs::Millis(30));
+}
+
+TEST(HeartbeatTest, LocalizesFaultedLinkFirst) {
+  HostNetwork host(Quiet());
+  HeartbeatMesh::Config config;
+  config.period = TimeNs::Millis(1);
+  auto mesh = host.MakeHeartbeatMesh(config);
+  mesh->Start();
+  host.RunFor(TimeNs::Millis(20));
+
+  const auto path = *host.fabric().Route(host.server().nics[0], host.server().sockets[0]);
+  const topology::LinkId bad_link = path.hops[0].link;
+  host.fabric().InjectLinkFault(bad_link, fabric::LinkFault{1.0, TimeNs::Micros(5)});
+  host.RunFor(TimeNs::Millis(30));
+
+  const auto suspects = mesh->LocalizeFaults();
+  ASSERT_FALSE(suspects.empty());
+  EXPECT_EQ(suspects.front().link, bad_link);
+  EXPECT_DOUBLE_EQ(suspects.front().score, 1.0);
+  // Other suspects (links sharing degraded paths) score strictly less.
+  for (size_t i = 1; i < suspects.size(); ++i) {
+    EXPECT_LT(suspects[i].score, 1.0) << "link " << suspects[i].link;
+  }
+}
+
+TEST(HeartbeatTest, CapacityFaultAlsoDetected) {
+  // A capacity-degraded switch link congests under load; the resulting
+  // queueing latency trips the mesh even though the fault itself only
+  // touches bandwidth.
+  HostNetwork host(Quiet());
+  HeartbeatMesh::Config config;
+  config.period = TimeNs::Millis(1);
+  config.degradation_factor = 1.5;
+  auto mesh = host.MakeHeartbeatMesh(config);
+  mesh->Start();
+
+  // Background load through nic0's switch uplink.
+  fabric::FlowSpec bulk;
+  bulk.path = *host.fabric().Route(host.server().gpus[0], host.server().sockets[0]);
+  bulk.demand = sim::Bandwidth::GBps(10);
+  host.fabric().StartFlow(bulk);
+
+  host.RunFor(TimeNs::Millis(20));
+  ASSERT_TRUE(mesh->Alarms().empty());
+
+  // Degrade the shared uplink to 40%: the same 10 GB/s now congests it.
+  const topology::LinkId uplink = bulk.path.hops[1].link;
+  host.fabric().InjectLinkFault(uplink, fabric::LinkFault{0.4, TimeNs::Zero()});
+  host.RunFor(TimeNs::Millis(30));
+  EXPECT_FALSE(mesh->Alarms().empty());
+}
+
+TEST(HeartbeatTest, RecoversWhenFaultCleared) {
+  HostNetwork host(Quiet());
+  HeartbeatMesh::Config config;
+  config.period = TimeNs::Millis(1);
+  auto mesh = host.MakeHeartbeatMesh(config);
+  mesh->Start();
+  host.RunFor(TimeNs::Millis(20));
+  const auto path = *host.fabric().Route(host.server().nics[0], host.server().sockets[0]);
+  host.fabric().InjectLinkFault(path.hops[0].link, fabric::LinkFault{1.0, TimeNs::Micros(5)});
+  host.RunFor(TimeNs::Millis(20));
+  EXPECT_FALSE(mesh->Alarms().empty());
+  host.fabric().ClearLinkFault(path.hops[0].link);
+  host.RunFor(TimeNs::Millis(30));
+  EXPECT_TRUE(mesh->Alarms().empty());
+}
+
+TEST(HeartbeatTest, ResetBaselinesClearsState) {
+  HostNetwork host(Quiet());
+  HeartbeatMesh::Config config;
+  config.period = TimeNs::Millis(1);
+  auto mesh = host.MakeHeartbeatMesh(config);
+  mesh->Start();
+  host.RunFor(TimeNs::Millis(20));
+  const auto path = *host.fabric().Route(host.server().nics[0], host.server().sockets[0]);
+  host.fabric().InjectLinkFault(path.hops[0].link, fabric::LinkFault{1.0, TimeNs::Micros(5)});
+  host.RunFor(TimeNs::Millis(20));
+  EXPECT_FALSE(mesh->Alarms().empty());
+  // Re-baseline with the fault active: the degraded latency becomes the new
+  // normal (operator accepted it).
+  mesh->ResetBaselines();
+  host.RunFor(TimeNs::Millis(30));
+  EXPECT_TRUE(mesh->Alarms().empty());
+  EXPECT_FALSE(mesh->first_alarm_at().has_value());
+}
+
+TEST(HeartbeatTest, ProbeTrafficIsVisibleInTelemetry) {
+  HostNetwork host(Quiet());
+  HeartbeatMesh::Config config;
+  config.period = TimeNs::Millis(1);
+  auto mesh = host.MakeHeartbeatMesh(config);
+  mesh->Start();
+  host.RunFor(TimeNs::Millis(10));
+  // Probe bytes appear under TrafficClass::kProbe somewhere.
+  double probe_bytes = 0.0;
+  for (auto& snap : host.fabric().SnapshotAll()) {
+    probe_bytes += snap.bytes_by_class[static_cast<size_t>(fabric::TrafficClass::kProbe)];
+  }
+  EXPECT_GT(probe_bytes, 0.0);
+}
+
+}  // namespace
+}  // namespace mihn::anomaly

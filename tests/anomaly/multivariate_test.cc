@@ -1,0 +1,162 @@
+#include "src/anomaly/multivariate.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/random.h"
+
+namespace mihn::anomaly {
+namespace {
+
+using sim::TimeNs;
+
+TimeNs T(int i) { return TimeNs::Micros(i); }
+
+// Correlated 2D baseline: y tracks x closely.
+std::vector<double> Correlated(sim::Rng& rng) {
+  const double x = rng.Normal(10.0, 2.0);
+  const double y = x + rng.Normal(0.0, 0.2);
+  return {x, y};
+}
+
+TEST(MultivariateTest, QuietOnCorrelatedBaseline) {
+  // k=6: for a 2D Gaussian, P(d > 6) ~ 1.5e-8 per sample, so 2000 samples
+  // stay quiet with margin even under EW-estimate noise (k=5 leaves ~1%
+  // odds of a spurious fire at this run length).
+  MultivariateDetector d(2, 6.0, 128, 0.05);
+  sim::Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_FALSE(d.Observe(T(i), Correlated(rng)).has_value()) << i;
+  }
+}
+
+TEST(MultivariateTest, DetectsCorrelationBreakWithinMarginalRanges) {
+  MultivariateDetector d(2, 5.0, 256, 0.05);
+  sim::Rng rng(4);
+  for (int i = 0; i < 512; ++i) {
+    d.Observe(T(i), Correlated(rng));
+  }
+  // (13, 7): each coordinate is within ~1.5 marginal sigmas of its mean
+  // (x~N(10,2), y~N(10,2)), but y should be ~x, so jointly it is wildly
+  // inconsistent. Per-metric detectors cannot fire on this.
+  ZScoreDetector per_x(64, 3.0);
+  ZScoreDetector per_y(64, 3.0);
+  sim::Rng rng2(5);
+  for (int i = 0; i < 128; ++i) {
+    const auto v = Correlated(rng2);
+    per_x.Observe(T(i), v[0]);
+    per_y.Observe(T(i), v[1]);
+  }
+  EXPECT_FALSE(per_x.Observe(T(1000), 13.0).has_value());
+  EXPECT_FALSE(per_y.Observe(T(1000), 7.0).has_value());
+
+  const auto fired = d.Observe(T(1000), {13.0, 7.0});
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_GT(fired->score, 5.0);
+}
+
+TEST(MultivariateTest, DetectsJointShift) {
+  MultivariateDetector d(3, 4.0, 128, 0.05);
+  sim::Rng rng(6);
+  for (int i = 0; i < 256; ++i) {
+    d.Observe(T(i), {rng.Normal(1.0, 0.1), rng.Normal(2.0, 0.1), rng.Normal(3.0, 0.1)});
+  }
+  const auto fired = d.Observe(T(999), {2.0, 3.0, 4.0});
+  ASSERT_TRUE(fired.has_value());
+}
+
+TEST(MultivariateTest, AnomalyDoesNotPoisonBaseline) {
+  MultivariateDetector d(2, 4.0, 64, 0.1);
+  sim::Rng rng(7);
+  for (int i = 0; i < 128; ++i) {
+    d.Observe(T(i), Correlated(rng));
+  }
+  // A sustained break keeps firing (baseline frozen against outliers).
+  int fires = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (d.Observe(T(200 + i), {14.0, 6.0})) {
+      ++fires;
+    }
+  }
+  EXPECT_EQ(fires, 50);
+}
+
+TEST(MultivariateTest, WrongDimensionIgnored) {
+  MultivariateDetector d(2, 4.0, 4, 0.1);
+  EXPECT_FALSE(d.Observe(T(0), {1.0, 2.0, 3.0}).has_value());
+  EXPECT_EQ(d.seen(), 0);
+}
+
+TEST(MultivariateTest, DistanceBeforeDataIsZero) {
+  MultivariateDetector d(2);
+  EXPECT_EQ(d.Distance({5.0, 5.0}), 0.0);
+}
+
+TEST(MultivariateTest, ResetForgets) {
+  MultivariateDetector d(1, 4.0, 8, 0.1);
+  for (int i = 0; i < 32; ++i) {
+    d.Observe(T(i), {10.0 + (i % 2 ? 0.1 : -0.1)});
+  }
+  d.Reset();
+  EXPECT_EQ(d.seen(), 0);
+  EXPECT_FALSE(d.Observe(T(100), {100.0}).has_value());  // Warmup restarted.
+}
+
+TEST(MultivariateTest, ConstantBaselineStillDetectsChange) {
+  // Degenerate covariance (all zeros): the ridge keeps the solve finite and
+  // a genuine change must still fire.
+  MultivariateDetector d(2, 4.0, 16, 0.1);
+  for (int i = 0; i < 32; ++i) {
+    d.Observe(T(i), {5.0, 7.0});
+  }
+  EXPECT_TRUE(d.Observe(T(100), {6.0, 7.0}).has_value());
+}
+
+TEST(CrossMetricWatchTest, ScansAlignedCollectorSeries) {
+  sim::Simulation sim;
+  topology::Topology topo;
+  const auto a = topo.AddComponent(topology::ComponentKind::kCpuSocket, "a");
+  const auto b = topo.AddComponent(topology::ComponentKind::kCpuSocket, "b");
+  const auto ab = topo.AddLink(a, b, topology::LinkKind::kIntraSocket);
+  fabric::Fabric fabric(sim, topo);
+  telemetry::Collector::Config config;
+  config.period = sim::TimeNs::Millis(1);
+  telemetry::Collector collector(fabric, config);
+  collector.Start();
+
+  CrossMetricWatch watch(
+      {telemetry::Collector::LinkUtilKey(ab, true), telemetry::Collector::LinkRateKey(ab, true)},
+      MultivariateDetector(2, 4.0, 16, 0.1));
+
+  // Healthy baseline: idle link.
+  sim.RunFor(sim::TimeNs::Millis(40));
+  EXPECT_TRUE(watch.Scan(collector).empty());
+  EXPECT_GT(watch.detector().seen(), 16);
+
+  // Load the link: both metrics jump jointly.
+  fabric::FlowSpec flow;
+  flow.path = *fabric.Route(a, b);
+  fabric.StartFlow(flow);
+  sim.RunFor(sim::TimeNs::Millis(5));
+  const auto fired = watch.Scan(collector);
+  ASSERT_FALSE(fired.empty());
+  EXPECT_NE(fired.front().metric.find("util"), std::string::npos);
+  EXPECT_NE(fired.front().metric.find("+"), std::string::npos);
+}
+
+TEST(CrossMetricWatchTest, MissingSeriesNeverCompletes) {
+  sim::Simulation sim;
+  topology::Topology topo;
+  const auto a = topo.AddComponent(topology::ComponentKind::kCpuSocket, "a");
+  const auto b = topo.AddComponent(topology::ComponentKind::kCpuSocket, "b");
+  topo.AddLink(a, b, topology::LinkKind::kIntraSocket);
+  fabric::Fabric fabric(sim, topo);
+  telemetry::Collector collector(fabric, telemetry::Collector::Config{});
+  collector.SampleOnce();
+  CrossMetricWatch watch({"link/0/fwd/util", "no/such/metric"},
+                         MultivariateDetector(2, 4.0, 4, 0.1));
+  EXPECT_TRUE(watch.Scan(collector).empty());
+  EXPECT_EQ(watch.detector().seen(), 0);
+}
+
+}  // namespace
+}  // namespace mihn::anomaly

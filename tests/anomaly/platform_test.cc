@@ -1,0 +1,262 @@
+// Tests for the assembled anomaly platform: DetectorBank over Collector
+// series, congestion root-cause analysis, and the misconfiguration checker.
+
+#include <gtest/gtest.h>
+
+#include "src/anomaly/bank.h"
+#include "src/anomaly/misconfig.h"
+#include "src/anomaly/root_cause.h"
+#include "src/core/host_network.h"
+#include "src/workload/sources.h"
+
+namespace mihn::anomaly {
+namespace {
+
+using sim::Bandwidth;
+using sim::TimeNs;
+
+HostNetwork::Options Quiet() {
+  HostNetwork::Options options;
+  options.start_collector = false;
+  options.start_manager = false;
+  return options;
+}
+
+TEST(DetectorBankTest, FiresOnUtilizationStep) {
+  HostNetwork host(Quiet());
+  const auto& server = host.server();
+  telemetry::Collector::Config tconfig;
+  tconfig.period = TimeNs::Millis(1);
+  telemetry::Collector collector(host.fabric(), tconfig);
+  collector.Start();
+
+  const auto path = *host.fabric().Route(server.ssds[0], server.dimms[0]);
+  const topology::DirectedLink hop = path.hops[0];
+  DetectorBank bank;
+  bank.Attach(telemetry::Collector::LinkUtilKey(hop.link, hop.forward),
+              std::make_unique<ThresholdDetector>(0.0, 0.8));
+  EXPECT_EQ(bank.attachment_count(), 1u);
+
+  host.RunFor(TimeNs::Millis(10));
+  EXPECT_TRUE(bank.Scan(collector).empty());
+
+  workload::StreamSource::Config bulk;
+  bulk.src = server.ssds[0];
+  bulk.dst = server.dimms[0];
+  workload::StreamSource stream(host.fabric(), bulk);
+  stream.Start();
+  host.RunFor(TimeNs::Millis(10));
+  const auto fired = bank.Scan(collector);
+  ASSERT_FALSE(fired.empty());
+  EXPECT_EQ(fired.front().metric, telemetry::Collector::LinkUtilKey(hop.link, hop.forward));
+  EXPECT_NE(fired.front().detail.find("threshold"), std::string::npos);
+  EXPECT_EQ(bank.log().size(), fired.size());
+}
+
+TEST(DetectorBankTest, ScanDoesNotReprocessOldPoints) {
+  HostNetwork host(Quiet());
+  telemetry::Collector::Config tconfig;
+  tconfig.period = TimeNs::Millis(1);
+  telemetry::Collector collector(host.fabric(), tconfig);
+  collector.Start();
+
+  workload::StreamSource::Config bulk;
+  bulk.src = host.server().ssds[0];
+  bulk.dst = host.server().dimms[0];
+  workload::StreamSource stream(host.fabric(), bulk);
+  stream.Start();
+
+  const auto path = *host.fabric().Route(host.server().ssds[0], host.server().dimms[0]);
+  DetectorBank bank;
+  bank.Attach(telemetry::Collector::LinkUtilKey(path.hops[0].link, path.hops[0].forward),
+              std::make_unique<ThresholdDetector>(0.0, 0.5));
+  host.RunFor(TimeNs::Millis(5));
+  const size_t first = bank.Scan(collector).size();
+  EXPECT_GT(first, 0u);
+  // No new samples -> no new anomalies.
+  EXPECT_TRUE(bank.Scan(collector).empty());
+  host.RunFor(TimeNs::Millis(3));
+  EXPECT_EQ(bank.Scan(collector).size(), 3u);
+}
+
+TEST(RootCauseTest, QuietFabricHasNoCongestion) {
+  HostNetwork host(Quiet());
+  RootCauseAnalyzer analyzer(host.fabric());
+  EXPECT_TRUE(analyzer.FindCongestedLinks().empty());
+  EXPECT_EQ(analyzer.PrimarySuspect(), fabric::kNoTenant);
+}
+
+TEST(RootCauseTest, BlamesDominantTenant) {
+  HostNetwork host(Quiet());
+  const auto& server = host.server();
+  workload::StreamSource::Config big;
+  big.src = server.ssds[0];
+  big.dst = server.dimms[0];
+  big.tenant = 11;
+  big.weight = 3.0;
+  workload::StreamSource hog(host.fabric(), big);
+  hog.Start();
+  workload::StreamSource::Config small;
+  small.src = server.gpus[0];
+  small.dst = server.dimms[0];
+  small.tenant = 22;
+  workload::StreamSource minor(host.fabric(), small);
+  minor.Start();
+
+  RootCauseAnalyzer analyzer(host.fabric(), 0.9);
+  const auto reports = analyzer.FindCongestedLinks();
+  ASSERT_FALSE(reports.empty());
+  EXPECT_EQ(analyzer.PrimarySuspect(), 11);
+  // The report for the shared bottleneck names both tenants with 11 first.
+  bool found_shared = false;
+  for (const auto& report : reports) {
+    if (report.tenants.size() >= 2) {
+      found_shared = true;
+      EXPECT_EQ(report.tenants[0].tenant, 11);
+      EXPECT_GT(report.tenants[0].share, report.tenants[1].share);
+      EXPECT_NEAR(report.tenants[0].share + report.tenants[1].share, 1.0, 1e-6);
+    }
+  }
+  EXPECT_TRUE(found_shared);
+}
+
+TEST(RootCauseTest, DiagnoseVictimFindsSharedHop) {
+  HostNetwork host(Quiet());
+  const auto& server = host.server();
+  // Aggressor saturates ssd0 -> dimm0.
+  workload::StreamSource::Config bulk;
+  bulk.src = server.ssds[0];
+  bulk.dst = server.dimms[0];
+  bulk.tenant = 5;
+  workload::StreamSource aggressor(host.fabric(), bulk);
+  aggressor.Start();
+  // Victim path shares the switch uplink.
+  const auto victim_path = *host.fabric().Route(server.nics[0], server.sockets[0]);
+  RootCauseAnalyzer analyzer(host.fabric(), 0.9);
+  const auto reports = analyzer.DiagnoseVictim(victim_path);
+  ASSERT_FALSE(reports.empty());
+  EXPECT_EQ(reports.front().tenants.front().tenant, 5);
+  const std::string rendered = analyzer.Render(reports.front());
+  EXPECT_NE(rendered.find("congested"), std::string::npos);
+  EXPECT_NE(rendered.find("tenant 5"), std::string::npos);
+}
+
+TEST(RootCauseTest, FlagsSpillAsUnintendedConsumption) {
+  HostNetwork host(Quiet());
+  const auto& server = host.server();
+  // Tiny DDIO -> heavy spill onto the memory bus.
+  fabric::FabricConfig config;
+  config.way_bytes = 50 * 1024;
+  config.ddio_ways = 1;
+  host.fabric().SetConfig(config);
+
+  fabric::FlowSpec write;
+  write.path = *host.fabric().Route(server.nics[0], server.sockets[0]);
+  write.ddio_write = true;
+  write.tenant = 9;
+  host.fabric().StartFlow(write);
+
+  // Find the memory-bus hop carrying spill.
+  RootCauseAnalyzer analyzer(host.fabric(), 0.0);  // Report every loaded link.
+  bool saw_spill = false;
+  for (const auto& report : analyzer.FindCongestedLinks()) {
+    if (report.spill_fraction > 0.9) {
+      saw_spill = true;
+      EXPECT_EQ(report.dominant_class, fabric::TrafficClass::kSpill);
+      // Attribution still points at the causing tenant.
+      ASSERT_FALSE(report.tenants.empty());
+      EXPECT_EQ(report.tenants.front().tenant, 9);
+    }
+  }
+  EXPECT_TRUE(saw_spill);
+}
+
+TEST(MisconfigTest, CleanDefaultConfigIsQuiet) {
+  HostNetwork host(Quiet());
+  MisconfigChecker checker(host.fabric());
+  EXPECT_TRUE(checker.Check().empty());
+}
+
+TEST(MisconfigTest, FlagsSmallPayloadSize) {
+  HostNetwork host(Quiet());
+  fabric::FabricConfig config;
+  config.max_payload_bytes = 128;
+  host.fabric().SetConfig(config);
+  MisconfigChecker checker(host.fabric());
+  const auto findings = checker.Check();
+  ASSERT_FALSE(findings.empty());
+  EXPECT_EQ(findings.front().knob, "max_payload_bytes");
+  EXPECT_EQ(findings.front().severity, Finding::Severity::kWarning);
+  // 64 B is critical.
+  config.max_payload_bytes = 64;
+  host.fabric().SetConfig(config);
+  EXPECT_EQ(checker.Check().front().severity, Finding::Severity::kCritical);
+}
+
+TEST(MisconfigTest, FlagsOrderingIommuAndModeration) {
+  HostNetwork host(Quiet());
+  fabric::FabricConfig config;
+  config.relaxed_ordering = false;
+  config.iommu_enabled = true;
+  config.interrupt_moderation = sim::TimeNs::Micros(50);
+  host.fabric().SetConfig(config);
+  MisconfigChecker checker(host.fabric());
+  const auto findings = checker.Check();
+  std::set<std::string> knobs;
+  for (const auto& f : findings) {
+    knobs.insert(f.knob);
+  }
+  EXPECT_TRUE(knobs.contains("relaxed_ordering"));
+  EXPECT_TRUE(knobs.contains("iommu_enabled"));
+  EXPECT_TRUE(knobs.contains("interrupt_moderation"));
+  // Warnings sort before infos.
+  EXPECT_EQ(findings.front().severity, Finding::Severity::kWarning);
+}
+
+TEST(MisconfigTest, FlagsDdioThrashingFromObservedStats) {
+  HostNetwork host(Quiet());
+  const auto& server = host.server();
+  fabric::FabricConfig config;
+  config.way_bytes = 50 * 1024;
+  config.ddio_ways = 1;
+  host.fabric().SetConfig(config);
+  fabric::FlowSpec write;
+  write.path = *host.fabric().Route(server.nics[0], server.sockets[0]);
+  write.ddio_write = true;
+  host.fabric().StartFlow(write);
+
+  MisconfigChecker checker(host.fabric());
+  const auto findings = checker.Check();
+  bool found = false;
+  for (const auto& f : findings) {
+    if (f.knob == "ddio_ways") {
+      found = true;
+      EXPECT_NE(f.message.find("thrashing"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_NE(checker.Render().find("ddio_ways"), std::string::npos);
+}
+
+TEST(MisconfigTest, FlagsDdioDisabledUnderIoLoad) {
+  HostNetwork host(Quiet());
+  const auto& server = host.server();
+  fabric::FabricConfig config;
+  config.ddio_enabled = false;
+  host.fabric().SetConfig(config);
+  fabric::FlowSpec write;
+  write.path = *host.fabric().Route(server.nics[0], server.sockets[0]);
+  write.ddio_write = true;
+  host.fabric().StartFlow(write);
+  MisconfigChecker checker(host.fabric());
+  bool found = false;
+  for (const auto& f : checker.Check()) {
+    if (f.knob == "ddio_enabled") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace mihn::anomaly

@@ -1,0 +1,93 @@
+#include "src/core/host_network.h"
+
+#include <gtest/gtest.h>
+
+namespace mihn {
+namespace {
+
+using sim::TimeNs;
+
+TEST(HostNetworkTest, DefaultBuildIsWired) {
+  HostNetwork host;
+  EXPECT_EQ(host.topo().Validate(), "");
+  EXPECT_EQ(host.Now(), TimeNs::Zero());
+  EXPECT_GT(host.topo().component_count(), 10u);
+  // Collector and manager auto-started.
+  EXPECT_TRUE(host.collector().running());
+}
+
+TEST(HostNetworkTest, PresetsSelectTopology) {
+  HostNetwork::Options options;
+  options.preset = HostNetwork::Preset::kEdgeNode;
+  options.start_collector = false;
+  options.start_manager = false;
+  HostNetwork edge(options);
+  EXPECT_EQ(edge.server().gpus.size(), 0u);
+  options.preset = HostNetwork::Preset::kDgxClass;
+  HostNetwork dgx(options);
+  EXPECT_EQ(dgx.server().gpus.size(), 8u);
+}
+
+TEST(HostNetworkTest, RunForAdvancesClock) {
+  HostNetwork host;
+  host.RunFor(TimeNs::Millis(3));
+  EXPECT_EQ(host.Now(), TimeNs::Millis(3));
+  host.RunFor(TimeNs::Millis(2));
+  EXPECT_EQ(host.Now(), TimeNs::Millis(5));
+}
+
+TEST(HostNetworkTest, AutoStartedCollectorReportsToMonitorStore) {
+  HostNetwork host;
+  host.RunFor(TimeNs::Millis(10));
+  EXPECT_GT(host.collector().samples_taken(), 0u);
+  EXPECT_GT(host.collector().bytes_reported(), 0);
+}
+
+TEST(HostNetworkTest, ReportingCanBeDisabled) {
+  HostNetwork::Options options;
+  options.report_telemetry_to_store = false;
+  HostNetwork host(options);
+  host.RunFor(TimeNs::Millis(10));
+  EXPECT_EQ(host.collector().bytes_reported(), 0);
+}
+
+TEST(HostNetworkTest, DevicesListCoversEndpoints) {
+  HostNetwork host;
+  const auto devices = host.Devices();
+  const auto& server = host.server();
+  EXPECT_EQ(devices.size(),
+            server.sockets.size() + server.nics.size() + server.gpus.size() + server.ssds.size());
+}
+
+TEST(HostNetworkTest, MakeHeartbeatMeshDefaultsToDevices) {
+  HostNetwork host;
+  auto mesh = host.MakeHeartbeatMesh();
+  const size_t n = host.Devices().size();
+  EXPECT_EQ(mesh->pair_count(), n * (n - 1));
+}
+
+TEST(HostNetworkTest, CustomServerConstructor) {
+  topology::ServerSpec spec;
+  spec.sockets = 1;
+  spec.gpus_per_leaf = 3;
+  HostNetwork::Options options;
+  options.start_collector = false;
+  options.start_manager = false;
+  HostNetwork host(topology::BuildServer(spec), options);
+  EXPECT_EQ(host.server().gpus.size(), 6u);  // 2 root ports x 1 switch x 3.
+  EXPECT_EQ(host.topo().Validate(), "");
+}
+
+TEST(HostNetworkTest, SeedControlsDeterminism) {
+  auto fingerprint = [](uint64_t seed) {
+    HostNetwork::Options options;
+    options.seed = seed;
+    HostNetwork host(options);
+    return host.simulation().ForkRng(1).NextU64();
+  };
+  EXPECT_EQ(fingerprint(7), fingerprint(7));
+  EXPECT_NE(fingerprint(7), fingerprint(8));
+}
+
+}  // namespace
+}  // namespace mihn

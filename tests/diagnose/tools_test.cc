@@ -1,0 +1,235 @@
+#include "src/diagnose/tools.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/host_network.h"
+#include "src/workload/sources.h"
+
+namespace mihn::diagnose {
+namespace {
+
+using sim::Bandwidth;
+using sim::TimeNs;
+
+HostNetwork::Options Quiet() {
+  HostNetwork::Options options;
+  options.start_collector = false;
+  options.start_manager = false;
+  return options;
+}
+
+TEST(HostPingTest, UnloadedPingMatchesPathLatency) {
+  HostNetwork host(Quiet());
+  const auto& server = host.server();
+  const auto result = PingNow(host.fabric(), server.nics[0], server.sockets[0]);
+  ASSERT_TRUE(result.reachable);
+  const auto path = *host.fabric().Route(server.nics[0], server.sockets[0]);
+  EXPECT_GE(result.latency, path.BaseLatency(host.topo()));
+  EXPECT_LT(result.latency, path.BaseLatency(host.topo()) + TimeNs::Micros(1));
+}
+
+TEST(HostPingTest, UnreachableReported) {
+  HostNetwork host(Quiet());
+  const auto result = PingNow(host.fabric(), host.server().nics[0], host.server().nics[0]);
+  EXPECT_FALSE(result.reachable);
+}
+
+TEST(HostPingTest, PingSeesCongestion) {
+  HostNetwork host(Quiet());
+  const auto& server = host.server();
+  const auto before = PingNow(host.fabric(), server.nics[0], server.sockets[0]);
+  workload::StreamSource::Config bulk;
+  bulk.src = server.gpus[0];
+  bulk.dst = server.sockets[0];
+  workload::StreamSource stream(host.fabric(), bulk);
+  stream.Start();
+  const auto after = PingNow(host.fabric(), server.nics[0], server.sockets[0]);
+  EXPECT_GT(after.latency, before.latency * 2);
+}
+
+TEST(HostPingTest, SeriesCollectsDistribution) {
+  HostNetwork host(Quiet());
+  const auto& server = host.server();
+  sim::Histogram latency;
+  bool done = false;
+  PingSeries(host.fabric(), server.nics[0], server.sockets[0], 20, TimeNs::Micros(100),
+             [&](const sim::Histogram& h) {
+               latency = h;
+               done = true;
+             });
+  host.simulation().Run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(latency.count(), 20);
+  EXPECT_GT(latency.mean(), 0.0);
+}
+
+TEST(HostPingTest, SeriesOnUnreachablePairReturnsEmpty) {
+  HostNetwork host(Quiet());
+  bool done = false;
+  PingSeries(host.fabric(), host.server().nics[0], host.server().nics[0], 5, TimeNs::Micros(10),
+             [&](const sim::Histogram& h) {
+               EXPECT_EQ(h.count(), 0);
+               done = true;
+             });
+  host.simulation().Run();
+  EXPECT_TRUE(done);
+}
+
+TEST(HostTraceTest, BreaksDownPerHop) {
+  HostNetwork host(Quiet());
+  const auto& server = host.server();
+  const auto trace = Trace(host.fabric(), server.external_hosts[0], server.dimms[0]);
+  ASSERT_TRUE(trace.reachable);
+  EXPECT_GE(trace.hops.size(), 5u);
+  EXPECT_EQ(trace.hops.front().from, "remote0");
+  sim::TimeNs sum = sim::TimeNs::Zero();
+  for (const auto& hop : trace.hops) {
+    sum += hop.current_latency;
+    EXPECT_FALSE(hop.faulted);
+  }
+  EXPECT_EQ(sum, trace.total_current);
+  EXPECT_EQ(trace.total_base, trace.total_current);  // Unloaded.
+}
+
+TEST(HostTraceTest, PinpointsFaultedHop) {
+  HostNetwork host(Quiet());
+  const auto& server = host.server();
+  const auto path = *host.fabric().Route(server.nics[0], server.sockets[0]);
+  host.fabric().InjectLinkFault(path.hops[1].link, fabric::LinkFault{1.0, TimeNs::Micros(3)});
+  const auto trace = Trace(host.fabric(), server.nics[0], server.sockets[0]);
+  ASSERT_TRUE(trace.reachable);
+  EXPECT_FALSE(trace.hops[0].faulted);
+  EXPECT_TRUE(trace.hops[1].faulted);
+  EXPECT_GT(trace.hops[1].current_latency, trace.hops[1].base_latency + TimeNs::Micros(2));
+  const std::string rendered = RenderTrace(host.fabric(), trace);
+  EXPECT_NE(rendered.find("FAULT"), std::string::npos);
+}
+
+TEST(HostTraceTest, ShowsCongestedHopUtilization) {
+  HostNetwork host(Quiet());
+  const auto& server = host.server();
+  workload::StreamSource::Config bulk;
+  bulk.src = server.gpus[0];
+  bulk.dst = server.sockets[0];
+  workload::StreamSource stream(host.fabric(), bulk);
+  stream.Start();
+  const auto trace = Trace(host.fabric(), server.gpus[0], server.sockets[0]);
+  bool congested_hop = false;
+  for (const auto& hop : trace.hops) {
+    if (hop.utilization > 0.9) {
+      congested_hop = true;
+      EXPECT_GT(hop.current_latency, hop.base_latency);
+    }
+  }
+  EXPECT_TRUE(congested_hop);
+}
+
+TEST(HostPerfTest, MeasuresBottleneckWhenIdle) {
+  HostNetwork host(Quiet());
+  const auto& server = host.server();
+  const auto result = PerfNow(host.fabric(), server.ssds[0], server.dimms[0]);
+  ASSERT_TRUE(result.reachable);
+  // PCIe-bound: ~32 GB/s raw less transaction-layer efficiency.
+  EXPECT_GT(result.initial_rate.ToGBps(), 25.0);
+  EXPECT_LT(result.initial_rate.ToGBps(), 33.0);
+  // Probe cleaned up.
+  EXPECT_TRUE(host.fabric().ActiveFlows().empty());
+}
+
+TEST(HostPerfTest, SeesContention) {
+  HostNetwork host(Quiet());
+  const auto& server = host.server();
+  const double idle = PerfNow(host.fabric(), server.ssds[0], server.dimms[0]).initial_rate.ToGBps();
+  workload::StreamSource::Config bulk;
+  bulk.src = server.gpus[0];  // Shares the switch uplink with ssd0.
+  bulk.dst = server.dimms[0];
+  workload::StreamSource stream(host.fabric(), bulk);
+  stream.Start();
+  const double loaded =
+      PerfNow(host.fabric(), server.ssds[0], server.dimms[0]).initial_rate.ToGBps();
+  EXPECT_NEAR(loaded, idle / 2, idle * 0.1);
+}
+
+TEST(HostPerfTest, TimedRunAveragesOverWindow) {
+  HostNetwork host(Quiet());
+  const auto& server = host.server();
+  PerfResult result;
+  bool done = false;
+  PerfRun(host.fabric(), server.ssds[0], server.dimms[0], TimeNs::Millis(10),
+          [&](const PerfResult& r) {
+            result = r;
+            done = true;
+          });
+  host.RunFor(TimeNs::Millis(20));
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(result.reachable);
+  EXPECT_GT(result.bytes_moved, 0);
+  EXPECT_NEAR(result.average_rate.ToGBps(), result.initial_rate.ToGBps(), 1.0);
+  EXPECT_TRUE(host.fabric().ActiveFlows().empty());
+}
+
+TEST(HostSharkTest, CapturesAndFilters) {
+  HostNetwork host(Quiet());
+  const auto& server = host.server();
+  workload::StreamSource::Config a;
+  a.src = server.ssds[0];
+  a.dst = server.dimms[0];
+  a.tenant = 1;
+  workload::StreamSource sa(host.fabric(), a);
+  sa.Start();
+  workload::StreamSource::Config b;
+  b.src = server.gpus[1];
+  b.dst = server.dimms[2];
+  b.tenant = 2;
+  workload::StreamSource sb(host.fabric(), b);
+  sb.Start();
+
+  const auto all = CaptureFlows(host.fabric());
+  EXPECT_EQ(all.size(), 2u);
+  // Sorted by descending rate.
+  EXPECT_GE(all[0].rate, all[1].rate);
+
+  FlowFilter tenant_filter;
+  tenant_filter.tenant = 2;
+  const auto only_b = CaptureFlows(host.fabric(), tenant_filter);
+  ASSERT_EQ(only_b.size(), 1u);
+  EXPECT_EQ(only_b[0].tenant, 2);
+
+  FlowFilter link_filter;
+  const auto path_a = *host.fabric().Route(server.ssds[0], server.dimms[0]);
+  link_filter.link = path_a.hops[0].link;
+  const auto on_link = CaptureFlows(host.fabric(), link_filter);
+  ASSERT_EQ(on_link.size(), 1u);
+  EXPECT_EQ(on_link[0].tenant, 1);
+
+  FlowFilter rate_filter;
+  rate_filter.min_rate = Bandwidth::GBps(1000);
+  EXPECT_TRUE(CaptureFlows(host.fabric(), rate_filter).empty());
+
+  const std::string rendered = RenderFlows(host.fabric(), all);
+  EXPECT_NE(rendered.find("tenant=1"), std::string::npos);
+  EXPECT_NE(rendered.find("path="), std::string::npos);
+}
+
+TEST(HostSharkTest, CapturesSpillCompanions) {
+  HostNetwork host(Quiet());
+  const auto& server = host.server();
+  fabric::FabricConfig config;
+  config.way_bytes = 50 * 1024;
+  config.ddio_ways = 1;
+  host.fabric().SetConfig(config);
+  fabric::FlowSpec write;
+  write.path = *host.fabric().Route(server.nics[0], server.sockets[0]);
+  write.ddio_write = true;
+  write.tenant = 3;
+  host.fabric().StartFlow(write);
+
+  FlowFilter spill_filter;
+  spill_filter.klass = fabric::TrafficClass::kSpill;
+  const auto spills = CaptureFlows(host.fabric(), spill_filter);
+  ASSERT_EQ(spills.size(), 1u);
+  EXPECT_EQ(spills[0].tenant, 3);  // Attribution preserved.
+}
+
+}  // namespace
+}  // namespace mihn::diagnose

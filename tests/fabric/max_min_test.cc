@@ -1,0 +1,213 @@
+#include "src/fabric/max_min.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "src/sim/random.h"
+
+namespace mihn::fabric {
+namespace {
+
+TEST(MaxMinTest, EmptyInput) {
+  EXPECT_TRUE(SolveMaxMin({}, {100.0}).empty());
+}
+
+TEST(MaxMinTest, SingleFlowTakesWholeLink) {
+  const auto rates = SolveMaxMin({{1.0, kUnlimitedDemand, {0}}}, {100.0});
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates[0], 100.0);
+}
+
+TEST(MaxMinTest, SingleFlowCappedByDemand) {
+  const auto rates = SolveMaxMin({{1.0, 30.0, {0}}}, {100.0});
+  EXPECT_DOUBLE_EQ(rates[0], 30.0);
+}
+
+TEST(MaxMinTest, TwoEqualFlowsSplitEvenly) {
+  const auto rates = SolveMaxMin({{1.0, kUnlimitedDemand, {0}}, {1.0, kUnlimitedDemand, {0}}},
+                                 {100.0});
+  EXPECT_DOUBLE_EQ(rates[0], 50.0);
+  EXPECT_DOUBLE_EQ(rates[1], 50.0);
+}
+
+TEST(MaxMinTest, WeightsSplitProportionally) {
+  const auto rates =
+      SolveMaxMin({{3.0, kUnlimitedDemand, {0}}, {1.0, kUnlimitedDemand, {0}}}, {100.0});
+  EXPECT_DOUBLE_EQ(rates[0], 75.0);
+  EXPECT_DOUBLE_EQ(rates[1], 25.0);
+}
+
+TEST(MaxMinTest, SmallDemandFlowReleasesShareToOthers) {
+  // Classic max-min: demands {10, inf, inf} on a 100 link -> {10, 45, 45}.
+  const auto rates = SolveMaxMin(
+      {{1.0, 10.0, {0}}, {1.0, kUnlimitedDemand, {0}}, {1.0, kUnlimitedDemand, {0}}}, {100.0});
+  EXPECT_DOUBLE_EQ(rates[0], 10.0);
+  EXPECT_DOUBLE_EQ(rates[1], 45.0);
+  EXPECT_DOUBLE_EQ(rates[2], 45.0);
+}
+
+TEST(MaxMinTest, TextbookTwoLinkExample) {
+  // Link 0 cap 10 shared by flows A (link 0) and B (links 0,1);
+  // link 1 cap 4 shared by B and C (link 1).
+  // B is bottlenecked on link 1 with C: B=C=2; A gets 10-2=8.
+  const auto rates = SolveMaxMin(
+      {{1.0, kUnlimitedDemand, {0}}, {1.0, kUnlimitedDemand, {0, 1}}, {1.0, kUnlimitedDemand, {1}}},
+      {10.0, 4.0});
+  EXPECT_DOUBLE_EQ(rates[1], 2.0);
+  EXPECT_DOUBLE_EQ(rates[2], 2.0);
+  EXPECT_DOUBLE_EQ(rates[0], 8.0);
+}
+
+TEST(MaxMinTest, ZeroCapacityLinkKillsFlow) {
+  const auto rates =
+      SolveMaxMin({{1.0, kUnlimitedDemand, {0, 1}}, {1.0, kUnlimitedDemand, {0}}}, {100.0, 0.0});
+  EXPECT_DOUBLE_EQ(rates[0], 0.0);
+  EXPECT_DOUBLE_EQ(rates[1], 100.0);
+}
+
+TEST(MaxMinTest, ZeroDemandFlowGetsNothing) {
+  const auto rates =
+      SolveMaxMin({{1.0, 0.0, {0}}, {1.0, kUnlimitedDemand, {0}}}, {100.0});
+  EXPECT_DOUBLE_EQ(rates[0], 0.0);
+  EXPECT_DOUBLE_EQ(rates[1], 100.0);
+}
+
+TEST(MaxMinTest, InvalidLinkIndexKillsFlowSafely) {
+  const auto rates = SolveMaxMin({{1.0, kUnlimitedDemand, {7}}}, {100.0});
+  EXPECT_DOUBLE_EQ(rates[0], 0.0);
+}
+
+TEST(MaxMinTest, DuplicateLinkEntriesCountOnce) {
+  const auto rates = SolveMaxMin({{1.0, kUnlimitedDemand, {0, 0, 0}}}, {100.0});
+  EXPECT_DOUBLE_EQ(rates[0], 100.0);
+}
+
+TEST(MaxMinTest, FlowWithNoLinksGetsDemand) {
+  const auto rates = SolveMaxMin({{1.0, 42.0, {}}}, {100.0});
+  EXPECT_DOUBLE_EQ(rates[0], 42.0);
+}
+
+TEST(MaxMinTest, ParkingLotTopology) {
+  // N flows each crossing links {i..N-1}; flow 0 crosses all links.
+  // All links capacity 1 per remaining flows... classic parking lot:
+  // flows: f_i uses links i..3, caps all 12. Bottleneck: link 3 carries all
+  // 4 flows -> everyone gets 3.
+  std::vector<MaxMinFlow> flows;
+  for (int i = 0; i < 4; ++i) {
+    MaxMinFlow f{1.0, kUnlimitedDemand, {}};
+    for (int l = i; l < 4; ++l) {
+      f.links.push_back(l);
+    }
+    flows.push_back(f);
+  }
+  const auto rates = SolveMaxMin(flows, {12.0, 12.0, 12.0, 12.0});
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(rates[static_cast<size_t>(i)], 3.0, 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property-based sweep: random networks must satisfy the max-min invariants.
+// ---------------------------------------------------------------------------
+
+struct RandomCase {
+  uint64_t seed;
+};
+
+class MaxMinPropertyTest : public ::testing::TestWithParam<RandomCase> {};
+
+TEST_P(MaxMinPropertyTest, InvariantsHold) {
+  sim::Rng rng(GetParam().seed);
+  const int num_links = static_cast<int>(rng.UniformInt(1, 12));
+  const int num_flows = static_cast<int>(rng.UniformInt(1, 40));
+
+  std::vector<double> caps(static_cast<size_t>(num_links));
+  for (auto& c : caps) {
+    c = rng.Uniform(1.0, 1000.0);
+  }
+  std::vector<MaxMinFlow> flows(static_cast<size_t>(num_flows));
+  for (auto& f : flows) {
+    f.weight = rng.Uniform(0.1, 4.0);
+    f.demand = rng.Bernoulli(0.3) ? kUnlimitedDemand : rng.Uniform(0.0, 500.0);
+    const int nl = static_cast<int>(rng.UniformInt(1, num_links));
+    for (int i = 0; i < nl; ++i) {
+      f.links.push_back(static_cast<int32_t>(rng.UniformInt(0, num_links - 1)));
+    }
+  }
+
+  const auto rates = SolveMaxMin(flows, caps);
+  ASSERT_EQ(rates.size(), flows.size());
+
+  // Invariant 1: non-negative, demand-capped rates.
+  for (size_t i = 0; i < flows.size(); ++i) {
+    EXPECT_GE(rates[i], 0.0);
+    EXPECT_LE(rates[i], flows[i].demand * (1.0 + 1e-9) + 1e-9);
+  }
+
+  // Invariant 2: feasibility on every link.
+  std::vector<double> load(caps.size(), 0.0);
+  for (size_t i = 0; i < flows.size(); ++i) {
+    std::vector<int32_t> links = flows[i].links;
+    std::sort(links.begin(), links.end());
+    links.erase(std::unique(links.begin(), links.end()), links.end());
+    for (const int32_t l : links) {
+      load[static_cast<size_t>(l)] += rates[i];
+    }
+  }
+  for (size_t l = 0; l < caps.size(); ++l) {
+    EXPECT_LE(load[l], caps[l] * (1.0 + 1e-6) + 1e-6) << "link " << l;
+  }
+
+  // Invariant 3 (max-min / work conservation): every flow below its demand
+  // must cross a saturated link on which it has (weakly) the largest
+  // weight-normalized rate among that link's flows.
+  for (size_t i = 0; i < flows.size(); ++i) {
+    if (rates[i] >= flows[i].demand * (1.0 - 1e-6)) {
+      continue;  // Demand-satisfied.
+    }
+    bool justified = false;
+    for (const int32_t l : flows[i].links) {
+      const bool saturated = load[static_cast<size_t>(l)] >= caps[static_cast<size_t>(l)] - 1e-6;
+      if (!saturated) {
+        continue;
+      }
+      bool is_max_normalized = true;
+      for (size_t j = 0; j < flows.size(); ++j) {
+        if (j == i) {
+          continue;
+        }
+        const bool shares =
+            std::find(flows[j].links.begin(), flows[j].links.end(), l) != flows[j].links.end();
+        if (shares &&
+            rates[j] / flows[j].weight > rates[i] / flows[i].weight * (1.0 + 1e-6) + 1e-9) {
+          is_max_normalized = false;
+          break;
+        }
+      }
+      if (is_max_normalized) {
+        justified = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(justified) << "flow " << i << " rate " << rates[i]
+                           << " is below demand with no justifying bottleneck";
+  }
+}
+
+std::vector<RandomCase> MakeCases() {
+  std::vector<RandomCase> cases;
+  for (uint64_t s = 1; s <= 40; ++s) {
+    cases.push_back({s * 7919});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomNetworks, MaxMinPropertyTest, ::testing::ValuesIn(MakeCases()),
+                         [](const ::testing::TestParamInfo<RandomCase>& param_info) {
+                           return "seed" + std::to_string(param_info.param.seed);
+                         });
+
+}  // namespace
+}  // namespace mihn::fabric

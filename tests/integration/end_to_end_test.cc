@@ -1,0 +1,244 @@
+// Cross-module integration tests: the full stack (workloads + telemetry +
+// anomaly platform + manager) operating together on one host, plus edge
+// cases that fall between module seams.
+
+#include <gtest/gtest.h>
+
+#include "src/anomaly/bank.h"
+#include "src/anomaly/root_cause.h"
+#include "src/core/host_network.h"
+#include "src/diagnose/tools.h"
+#include "src/manager/slo_monitor.h"
+#include "src/workload/kv_client.h"
+#include "src/workload/sources.h"
+
+namespace mihn {
+namespace {
+
+using sim::Bandwidth;
+using sim::TimeNs;
+
+TEST(EndToEndTest, OperatorStoryDetectDiagnoseRemediate) {
+  // The paper's full loop on one host: interference appears, telemetry sees
+  // it, root cause names the tenant, the manager remediates, SLOs recover.
+  HostNetwork::Options options;
+  options.manager.mode = manager::ManagerConfig::Mode::kStatic;
+  options.start_manager = false;
+  HostNetwork host(options);
+  const auto& server = host.server();
+  auto& mgr = host.manager();
+
+  // Victim tenant with a 20 GB/s promise (above the 14.5 GB/s unmanaged
+  // fair share, so a rogue measurably breaks it) and its real flow.
+  const auto victim = mgr.RegisterTenant("victim");
+  manager::PerformanceTarget target;
+  target.src = server.ssds[0];
+  target.dst = server.dimms[0];
+  target.bandwidth = Bandwidth::GBps(20);
+  const auto alloc = mgr.SubmitIntent(victim, target);
+  ASSERT_TRUE(alloc.ok());
+  workload::StreamSource::Config vc;
+  vc.src = target.src;
+  vc.dst = target.dst;
+  vc.tenant = victim;
+  workload::StreamSource victim_stream(host.fabric(), vc);
+  victim_stream.Start();
+  mgr.AttachFlow(alloc.id, victim_stream.flow());
+
+  manager::SloMonitor slo(mgr, host.fabric());
+  slo.Start();
+  host.RunFor(TimeNs::Millis(5));
+  EXPECT_TRUE(slo.violations().empty());
+
+  // 1. Interference: an unallocated tenant floods the shared path.
+  workload::StreamSource::Config rc;
+  rc.src = server.ssds[0];
+  rc.dst = server.dimms[1];
+  rc.tenant = 77;
+  workload::StreamSource rogue(host.fabric(), rc);
+  rogue.Start();
+  host.RunFor(TimeNs::Millis(5));
+
+  // 2. Detect: the SLO monitor flags the shortfall.
+  ASSERT_FALSE(slo.violations().empty());
+  EXPECT_EQ(slo.violations().front().tenant, victim);
+
+  // 3. Diagnose: root cause names tenant 77 on the victim's own path.
+  anomaly::RootCauseAnalyzer analyzer(host.fabric(), 0.9);
+  const auto reports = analyzer.DiagnoseVictim(mgr.GetAllocation(alloc.id)->path);
+  ASSERT_FALSE(reports.empty());
+  bool rogue_blamed = false;
+  for (const auto& share : reports.front().tenants) {
+    if (share.tenant == 77) {
+      rogue_blamed = true;
+    }
+  }
+  EXPECT_TRUE(rogue_blamed);
+
+  // 4. Remediate: start the arbiter; the reservation re-asserts itself.
+  mgr.Start();
+  mgr.ArbitrateOnce();
+  host.RunFor(TimeNs::Millis(5));
+  EXPECT_NEAR(victim_stream.AchievedRate().ToGBps(), 20.0, 0.5);
+  const size_t violations_at_fix = slo.violations().size();
+  host.RunFor(TimeNs::Millis(10));
+  EXPECT_EQ(slo.violations().size(), violations_at_fix);  // No new ones.
+}
+
+TEST(EndToEndTest, ProbeIntentPredictsAdmission) {
+  HostNetwork::Options options;
+  options.start_collector = false;
+  options.start_manager = false;
+  HostNetwork host(options);
+  auto& mgr = host.manager();
+  const auto tenant = mgr.RegisterTenant("t");
+  manager::PerformanceTarget target;
+  target.src = host.server().ssds[0];
+  target.dst = host.server().dimms[0];
+  target.bandwidth = Bandwidth::GBps(20);
+
+  // Dry-run says yes and changes nothing.
+  const auto probe = mgr.ProbeIntent(tenant, target);
+  ASSERT_TRUE(probe.has_value());
+  EXPECT_TRUE(mgr.ReservedOn(probe->path.hops[0]).IsZero());
+
+  // Commit; now a second 20 GB/s probe must predict rejection...
+  ASSERT_TRUE(mgr.SubmitIntent(tenant, target).ok());
+  EXPECT_FALSE(mgr.ProbeIntent(tenant, target).has_value());
+  // ...and SubmitIntent agrees with its own dry run.
+  EXPECT_FALSE(mgr.SubmitIntent(tenant, target).ok());
+  // Unknown tenant and zero bandwidth probe cleanly.
+  EXPECT_FALSE(mgr.ProbeIntent(999, target).has_value());
+  target.bandwidth = Bandwidth::Zero();
+  EXPECT_FALSE(mgr.ProbeIntent(tenant, target).has_value());
+}
+
+TEST(EndToEndTest, BatchLimitsApplyAtomically) {
+  HostNetwork::Options options;
+  options.start_collector = false;
+  options.start_manager = false;
+  HostNetwork host(options);
+  const auto& server = host.server();
+  const auto path = *host.fabric().Route(server.ssds[0], server.dimms[0]);
+  fabric::FlowSpec spec;
+  spec.path = path;
+  const auto f1 = host.fabric().StartFlow(spec);
+  const auto f2 = host.fabric().StartFlow(spec);
+  const uint64_t recomputes_before = host.fabric().recompute_count();
+  host.fabric().SetFlowLimitsBatch({{f1, Bandwidth::GBps(3)},
+                                    {f2, Bandwidth::GBps(4)},
+                                    {9999, Bandwidth::GBps(1)}});  // Unknown skipped.
+  EXPECT_EQ(host.fabric().recompute_count(), recomputes_before + 1);  // One solve.
+  EXPECT_DOUBLE_EQ(host.fabric().FlowRate(f1).ToGBps(), 3.0);
+  EXPECT_DOUBLE_EQ(host.fabric().FlowRate(f2).ToGBps(), 4.0);
+  // An all-unknown batch does not recompute at all.
+  host.fabric().SetFlowLimitsBatch({{12345, Bandwidth::GBps(1)}});
+  EXPECT_EQ(host.fabric().recompute_count(), recomputes_before + 1);
+}
+
+TEST(EndToEndTest, WorkConservingSplitsSlackByTenantWeight) {
+  HostNetwork::Options options;
+  options.start_collector = false;
+  options.start_manager = false;
+  options.manager.mode = manager::ManagerConfig::Mode::kWorkConserving;
+  HostNetwork host(options);
+  const auto& server = host.server();
+  auto& mgr = host.manager();
+  // Two tenants, weight 2 vs 1, small equal reservations on one path.
+  const auto heavy = mgr.RegisterTenant("heavy", 2.0);
+  const auto light = mgr.RegisterTenant("light", 1.0);
+  manager::PerformanceTarget target;
+  target.src = server.ssds[0];
+  target.dst = server.dimms[0];
+  target.bandwidth = Bandwidth::GBps(2);
+  const auto ha = mgr.SubmitIntent(heavy, target);
+  target.dst = server.dimms[1];
+  const auto la = mgr.SubmitIntent(light, target);
+  ASSERT_TRUE(ha.ok());
+  ASSERT_TRUE(la.ok());
+
+  workload::StreamSource::Config hc;
+  hc.src = server.ssds[0];
+  hc.dst = server.dimms[0];
+  hc.tenant = heavy;
+  workload::StreamSource hs(host.fabric(), hc);
+  hs.Start();
+  mgr.AttachFlow(ha.id, hs.flow());
+  workload::StreamSource::Config lc = hc;
+  lc.dst = server.dimms[1];
+  lc.tenant = light;
+  workload::StreamSource ls(host.fabric(), lc);
+  ls.Start();
+  mgr.AttachFlow(la.id, ls.flow());
+
+  mgr.ArbitrateOnce();
+  // Slack on the shared PCIe hops = 29*0.95 - 4 = ~23.6 GB/s, split 2:1.
+  const double heavy_rate = hs.AchievedRate().ToGBps();
+  const double light_rate = ls.AchievedRate().ToGBps();
+  EXPECT_NEAR((heavy_rate - 2.0) / (light_rate - 2.0), 2.0, 0.15);
+}
+
+TEST(EndToEndTest, HeartbeatMeshWithUnreachableParticipantDegrades) {
+  // A participant pair with no path (external host of another NIC after
+  // link removal is impossible here, so use two external hosts: their only
+  // path crosses both NICs — actually reachable; instead verify a
+  // one-component mesh yields zero pairs and never crashes).
+  HostNetwork::Options options;
+  options.start_collector = false;
+  options.start_manager = false;
+  HostNetwork host(options);
+  anomaly::HeartbeatMesh::Config config;
+  config.participants = {host.server().nics[0]};
+  anomaly::HeartbeatMesh mesh(host.fabric(), config);
+  EXPECT_EQ(mesh.pair_count(), 0u);
+  mesh.Start();
+  host.RunFor(TimeNs::Millis(5));
+  EXPECT_EQ(mesh.probes_sent(), 0u);
+  EXPECT_TRUE(mesh.LocalizeFaults().empty());
+}
+
+TEST(EndToEndTest, KvOverCxlHostWorks) {
+  // The CXL preset composes with everything else.
+  HostNetwork::Options options;
+  options.start_collector = false;
+  options.start_manager = false;
+  HostNetwork host(topology::CxlPooledServer(), options);
+  workload::KvClient::Config kv_config;
+  kv_config.client = host.server().external_hosts[0];
+  kv_config.server = host.server().cxl_memories[0];  // KV data in CXL memory.
+  workload::KvClient kv(host.fabric(), kv_config);
+  kv.Start();
+  host.RunFor(TimeNs::Millis(10));
+  EXPECT_GT(kv.completed_ops(), 100);
+}
+
+TEST(EndToEndTest, DetectorBankOverThroughputCatchesPacketFlood) {
+  // Rate-based counters are blind to packet floods; the byte-delta
+  // throughput series is not. The fine collector + EWMA bank catches a
+  // packet-level aggressor.
+  HostNetwork::Options options;
+  options.start_manager = false;
+  options.telemetry.period = TimeNs::Millis(1);
+  HostNetwork host(options);
+  const auto& server = host.server();
+  const auto path = *host.fabric().Route(server.nics[0], server.sockets[0]);
+
+  anomaly::DetectorBank bank;
+  bank.Attach(
+      telemetry::Collector::LinkThroughputKey(path.hops[0].link, path.hops[0].forward),
+      std::make_unique<anomaly::EwmaDetector>(0.2, 6.0, 8));
+  host.RunFor(TimeNs::Millis(20));
+  EXPECT_TRUE(bank.Scan(host.collector()).empty());
+
+  host.simulation().SchedulePeriodic(TimeNs::Micros(2), [&] {
+    fabric::PacketSpec pkt;
+    pkt.path = path;
+    pkt.bytes = 4096;
+    host.fabric().SendPacket(std::move(pkt));
+  });
+  host.RunFor(TimeNs::Millis(10));
+  EXPECT_FALSE(bank.Scan(host.collector()).empty());
+}
+
+}  // namespace
+}  // namespace mihn

@@ -1,0 +1,104 @@
+#include "src/manager/intent.h"
+
+#include <gtest/gtest.h>
+
+#include "src/topology/presets.h"
+
+namespace mihn::manager {
+namespace {
+
+using sim::Bandwidth;
+
+topology::Path MakePath(const std::vector<topology::DirectedLink>& hops) {
+  topology::Path path;
+  path.hops = hops;
+  path.nodes.resize(hops.size() + 1);
+  return path;
+}
+
+Allocation MakeAllocation(fabric::TenantId tenant, double gbps,
+                          const std::vector<topology::DirectedLink>& hops) {
+  Allocation alloc;
+  alloc.tenant = tenant;
+  alloc.target.bandwidth = Bandwidth::GBps(gbps);
+  alloc.path = MakePath(hops);
+  return alloc;
+}
+
+TEST(InterpretTest, OneRequirementPerHop) {
+  const auto path = MakePath({{0, true}, {3, false}, {5, true}});
+  const auto reqs = Interpret(path, Bandwidth::Gbps(20));
+  ASSERT_EQ(reqs.size(), 3u);
+  for (const auto& req : reqs) {
+    EXPECT_DOUBLE_EQ(req.bandwidth.ToGbps(), 20.0);
+  }
+  EXPECT_EQ(reqs[1].link.link, 3);
+  EXPECT_FALSE(reqs[1].link.forward);
+}
+
+TEST(InterpretTest, EmptyPathNoRequirements) {
+  EXPECT_TRUE(Interpret(topology::Path{}, Bandwidth::Gbps(1)).empty());
+}
+
+TEST(AggregateTest, PipeReservationsAdd) {
+  const auto a1 = MakeAllocation(1, 10, {{0, true}, {1, true}});
+  const auto a2 = MakeAllocation(1, 5, {{1, true}, {2, true}});
+  std::map<fabric::TenantId, ResourceModel> models{{1, ResourceModel::kPipe}};
+  const auto totals = AggregateReservations({&a1, &a2}, models);
+  EXPECT_DOUBLE_EQ(totals.at(topology::DirectedIndex({0, true})), 10e9);
+  EXPECT_DOUBLE_EQ(totals.at(topology::DirectedIndex({1, true})), 15e9);
+  EXPECT_DOUBLE_EQ(totals.at(topology::DirectedIndex({2, true})), 5e9);
+}
+
+TEST(AggregateTest, HoseReservationsTakeMaxPerTenant) {
+  // Same tenant, hose model, both crossing link 1: reserve max(10, 5) = 10.
+  const auto a1 = MakeAllocation(1, 10, {{0, true}, {1, true}});
+  const auto a2 = MakeAllocation(1, 5, {{1, true}, {2, true}});
+  std::map<fabric::TenantId, ResourceModel> models{{1, ResourceModel::kHose}};
+  const auto totals = AggregateReservations({&a1, &a2}, models);
+  EXPECT_DOUBLE_EQ(totals.at(topology::DirectedIndex({1, true})), 10e9);
+}
+
+TEST(AggregateTest, HoseAcrossTenantsStillAdds) {
+  const auto a1 = MakeAllocation(1, 10, {{1, true}});
+  const auto a2 = MakeAllocation(2, 5, {{1, true}});
+  std::map<fabric::TenantId, ResourceModel> models{{1, ResourceModel::kHose},
+                                                   {2, ResourceModel::kHose}};
+  const auto totals = AggregateReservations({&a1, &a2}, models);
+  EXPECT_DOUBLE_EQ(totals.at(topology::DirectedIndex({1, true})), 15e9);
+}
+
+TEST(AggregateTest, MixedModels) {
+  const auto pipe1 = MakeAllocation(1, 4, {{0, true}});
+  const auto pipe2 = MakeAllocation(1, 4, {{0, true}});
+  const auto hose1 = MakeAllocation(2, 6, {{0, true}});
+  const auto hose2 = MakeAllocation(2, 3, {{0, true}});
+  std::map<fabric::TenantId, ResourceModel> models{{1, ResourceModel::kPipe},
+                                                   {2, ResourceModel::kHose}};
+  const auto totals = AggregateReservations({&pipe1, &pipe2, &hose1, &hose2}, models);
+  // Pipe: 4+4 = 8; hose: max(6,3) = 6; total 14 GB/s.
+  EXPECT_DOUBLE_EQ(totals.at(topology::DirectedIndex({0, true})), 14e9);
+}
+
+TEST(AggregateTest, UnknownTenantDefaultsToPipe) {
+  const auto a1 = MakeAllocation(9, 2, {{0, true}});
+  const auto a2 = MakeAllocation(9, 2, {{0, true}});
+  const auto totals = AggregateReservations({&a1, &a2}, {});
+  EXPECT_DOUBLE_EQ(totals.at(topology::DirectedIndex({0, true})), 4e9);
+}
+
+TEST(AggregateTest, DirectionsAreSeparate) {
+  const auto fwd = MakeAllocation(1, 7, {{0, true}});
+  const auto rev = MakeAllocation(1, 3, {{0, false}});
+  const auto totals = AggregateReservations({&fwd, &rev}, {});
+  EXPECT_DOUBLE_EQ(totals.at(topology::DirectedIndex({0, true})), 7e9);
+  EXPECT_DOUBLE_EQ(totals.at(topology::DirectedIndex({0, false})), 3e9);
+}
+
+TEST(ResourceModelTest, Names) {
+  EXPECT_EQ(ResourceModelName(ResourceModel::kPipe), "pipe");
+  EXPECT_EQ(ResourceModelName(ResourceModel::kHose), "hose");
+}
+
+}  // namespace
+}  // namespace mihn::manager

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "src/core/host_network.h"
+#include "src/manager/manager.h"
+
+namespace mihn::manager {
+namespace {
+
+using sim::Bandwidth;
+
+HostNetwork::Options Quiet() {
+  HostNetwork::Options options;
+  options.start_collector = false;
+  options.start_manager = false;
+  return options;
+}
+
+TEST(MigrationTest, MovesAllocationToNewEndpoints) {
+  HostNetwork host(Quiet());
+  Manager manager(host.fabric());
+  const auto& server = host.server();
+  const auto tenant = manager.RegisterTenant("alice");
+  PerformanceTarget target;
+  target.src = server.ssds[0];
+  target.dst = server.dimms[0];
+  target.bandwidth = Bandwidth::GBps(10);
+  const auto alloc = manager.SubmitIntent(tenant, target);
+  ASSERT_TRUE(alloc.ok());
+  const topology::Path old_path = manager.GetAllocation(alloc.id)->path;
+
+  const auto moved = manager.MigrateAllocation(alloc.id, server.ssds[2], server.dimms[4]);
+  ASSERT_TRUE(moved.ok()) << moved.error;
+  EXPECT_EQ(moved.id, alloc.id);  // Identity is stable.
+  const Allocation* after = manager.GetAllocation(alloc.id);
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->target.src, server.ssds[2]);
+  EXPECT_EQ(after->target.dst, server.dimms[4]);
+  EXPECT_DOUBLE_EQ(after->target.bandwidth.ToGBps(), 10.0);
+  // Old path released, new path reserved.
+  EXPECT_DOUBLE_EQ(manager.ReservedOn(old_path.hops[0]).ToGBps(), 0.0);
+  EXPECT_DOUBLE_EQ(manager.ReservedOn(after->path.hops[0]).ToGBps(), 10.0);
+}
+
+TEST(MigrationTest, SelfCreditAllowsMigrationWithinFullLink) {
+  HostNetwork host(Quiet());
+  Manager manager(host.fabric());
+  const auto& server = host.server();
+  const auto tenant = manager.RegisterTenant("alice");
+  PerformanceTarget target;
+  target.src = server.ssds[0];
+  target.dst = server.dimms[0];
+  target.bandwidth = Bandwidth::GBps(25);  // Nearly the whole PCIe path.
+  const auto alloc = manager.SubmitIntent(tenant, target);
+  ASSERT_TRUE(alloc.ok());
+  // Migrating to a different DIMM re-uses the saturated first hops; without
+  // self-credit the check would double-count and fail.
+  const auto moved = manager.MigrateAllocation(alloc.id, server.ssds[0], server.dimms[1]);
+  EXPECT_TRUE(moved.ok()) << moved.error;
+}
+
+TEST(MigrationTest, FailureLeavesAllocationIntact) {
+  HostNetwork host(Quiet());
+  Manager manager(host.fabric());
+  const auto& server = host.server();
+  const auto tenant = manager.RegisterTenant("alice");
+  PerformanceTarget target;
+  target.src = server.ssds[0];
+  target.dst = server.dimms[0];
+  target.bandwidth = Bandwidth::GBps(10);
+  const auto alloc = manager.SubmitIntent(tenant, target);
+  ASSERT_TRUE(alloc.ok());
+  const Allocation before = *manager.GetAllocation(alloc.id);
+
+  // Unreachable destination: migrate to the same component (no path).
+  const auto moved = manager.MigrateAllocation(alloc.id, server.ssds[0], server.ssds[0]);
+  EXPECT_FALSE(moved.ok());
+  const Allocation* after = manager.GetAllocation(alloc.id);
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->target.dst, before.target.dst);
+  EXPECT_DOUBLE_EQ(manager.ReservedOn(before.path.hops[0]).ToGBps(), 10.0);
+}
+
+TEST(MigrationTest, UnknownAllocationRejected) {
+  HostNetwork host(Quiet());
+  Manager manager(host.fabric());
+  const auto moved = manager.MigrateAllocation(42, 0, 1);
+  EXPECT_FALSE(moved.ok());
+  EXPECT_NE(moved.error.find("unknown"), std::string::npos);
+}
+
+TEST(MigrationTest, AttachedFlowsAreDetachedAndUnlimited) {
+  HostNetwork host(Quiet());
+  ManagerConfig config;
+  config.mode = ManagerConfig::Mode::kStatic;
+  Manager manager(host.fabric(), config);
+  const auto& server = host.server();
+  const auto tenant = manager.RegisterTenant("alice");
+  PerformanceTarget target;
+  target.src = server.ssds[0];
+  target.dst = server.dimms[0];
+  target.bandwidth = Bandwidth::GBps(5);
+  const auto alloc = manager.SubmitIntent(tenant, target);
+  fabric::FlowSpec spec;
+  spec.path = manager.GetAllocation(alloc.id)->path;
+  const fabric::FlowId flow = host.fabric().StartFlow(spec);
+  manager.AttachFlow(alloc.id, flow);
+  manager.ArbitrateOnce();
+  EXPECT_NEAR(host.fabric().FlowRate(flow).ToGBps(), 5.0, 0.1);
+
+  const auto moved = manager.MigrateAllocation(alloc.id, server.ssds[1], server.dimms[1]);
+  ASSERT_TRUE(moved.ok());
+  EXPECT_TRUE(manager.GetAllocation(alloc.id)->flows.empty());
+  // The old flow is released from its cap.
+  EXPECT_GT(host.fabric().FlowRate(flow).ToGBps(), 20.0);
+}
+
+TEST(MigrationTest, VirtualViewFollowsTheMove) {
+  // The tenant's virtual link persists across migration — same capacity,
+  // new endpoints — without the tenant reconfiguring anything (§3.2).
+  HostNetwork host(Quiet());
+  Manager manager(host.fabric());
+  const auto& server = host.server();
+  const auto tenant = manager.RegisterTenant("alice");
+  PerformanceTarget target;
+  target.src = server.ssds[0];
+  target.dst = server.dimms[0];
+  target.bandwidth = Bandwidth::GBps(10);
+  const auto alloc = manager.SubmitIntent(tenant, target);
+  ASSERT_TRUE(manager.MigrateAllocation(alloc.id, server.ssds[3], server.dimms[7]).ok());
+  const VirtualView view = manager.TenantView(tenant);
+  ASSERT_EQ(view.links.size(), 1u);
+  EXPECT_EQ(view.links[0].src, server.ssds[3]);
+  EXPECT_EQ(view.links[0].dst, server.dimms[7]);
+  EXPECT_DOUBLE_EQ(view.links[0].capacity.ToGBps(), 10.0);
+}
+
+}  // namespace
+}  // namespace mihn::manager

@@ -1,0 +1,106 @@
+#include "src/sim/time_series.h"
+
+#include <gtest/gtest.h>
+
+namespace mihn::sim {
+namespace {
+
+TEST(TimeSeriesTest, StartsEmpty) {
+  TimeSeries ts(8);
+  EXPECT_TRUE(ts.empty());
+  EXPECT_EQ(ts.size(), 0u);
+  EXPECT_EQ(ts.capacity(), 8u);
+  EXPECT_EQ(ts.dropped(), 0u);
+}
+
+TEST(TimeSeriesTest, AppendAndAccess) {
+  TimeSeries ts(8);
+  ts.Append(TimeNs::Nanos(10), 1.0);
+  ts.Append(TimeNs::Nanos(20), 2.0);
+  EXPECT_EQ(ts.size(), 2u);
+  EXPECT_EQ(ts.Oldest().value, 1.0);
+  EXPECT_EQ(ts.Latest().value, 2.0);
+  EXPECT_EQ(ts.At(1).time, TimeNs::Nanos(20));
+}
+
+TEST(TimeSeriesTest, OverflowDropsOldest) {
+  TimeSeries ts(3);
+  for (int i = 0; i < 5; ++i) {
+    ts.Append(TimeNs::Nanos(i), static_cast<double>(i));
+  }
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_EQ(ts.dropped(), 2u);
+  EXPECT_EQ(ts.Oldest().value, 2.0);
+  EXPECT_EQ(ts.Latest().value, 4.0);
+}
+
+TEST(TimeSeriesTest, CapacityOneKeepsLatest) {
+  TimeSeries ts(1);
+  ts.Append(TimeNs::Nanos(1), 1.0);
+  ts.Append(TimeNs::Nanos(2), 2.0);
+  EXPECT_EQ(ts.size(), 1u);
+  EXPECT_EQ(ts.Latest().value, 2.0);
+}
+
+TEST(TimeSeriesTest, ZeroCapacityClampedToOne) {
+  TimeSeries ts(0);
+  EXPECT_EQ(ts.capacity(), 1u);
+  ts.Append(TimeNs::Nanos(1), 7.0);
+  EXPECT_EQ(ts.Latest().value, 7.0);
+}
+
+TEST(TimeSeriesTest, ForEachVisitsOldestFirst) {
+  TimeSeries ts(4);
+  for (int i = 0; i < 6; ++i) {
+    ts.Append(TimeNs::Nanos(i), static_cast<double>(i));
+  }
+  std::vector<double> seen;
+  ts.ForEach([&](const TimePoint& p) { seen.push_back(p.value); });
+  EXPECT_EQ(seen, (std::vector<double>{2.0, 3.0, 4.0, 5.0}));
+}
+
+TEST(TimeSeriesTest, StatsSinceFiltersOnTime) {
+  TimeSeries ts(16);
+  for (int i = 0; i < 10; ++i) {
+    ts.Append(TimeNs::Micros(i), static_cast<double>(i));
+  }
+  const RunningStats s = ts.StatsSince(TimeNs::Micros(5));
+  EXPECT_EQ(s.count(), 5);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+}
+
+TEST(TimeSeriesTest, MeanOfLast) {
+  TimeSeries ts(16);
+  for (int i = 1; i <= 5; ++i) {
+    ts.Append(TimeNs::Nanos(i), static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(ts.MeanOfLast(2), 4.5);
+  EXPECT_DOUBLE_EQ(ts.MeanOfLast(100), 3.0);
+  EXPECT_EQ(TimeSeries(4).MeanOfLast(3), 0.0);
+}
+
+TEST(TimeSeriesTest, WindowCopiesTail) {
+  TimeSeries ts(16);
+  for (int i = 0; i < 8; ++i) {
+    ts.Append(TimeNs::Nanos(i * 10), static_cast<double>(i));
+  }
+  const auto window = ts.Window(TimeNs::Nanos(50));
+  ASSERT_EQ(window.size(), 3u);
+  EXPECT_EQ(window[0].value, 5.0);
+  EXPECT_EQ(window[2].value, 7.0);
+}
+
+TEST(TimeSeriesTest, ClearResets) {
+  TimeSeries ts(4);
+  for (int i = 0; i < 10; ++i) {
+    ts.Append(TimeNs::Nanos(i), 1.0);
+  }
+  ts.Clear();
+  EXPECT_TRUE(ts.empty());
+  EXPECT_EQ(ts.dropped(), 0u);
+  ts.Append(TimeNs::Nanos(99), 9.0);
+  EXPECT_EQ(ts.Oldest().value, 9.0);
+}
+
+}  // namespace
+}  // namespace mihn::sim

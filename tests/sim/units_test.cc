@@ -1,0 +1,63 @@
+#include "src/sim/units.h"
+
+#include <gtest/gtest.h>
+
+namespace mihn::sim {
+namespace {
+
+TEST(BandwidthTest, UnitConversions) {
+  EXPECT_DOUBLE_EQ(Bandwidth::Gbps(8).bytes_per_sec(), 1e9);
+  EXPECT_DOUBLE_EQ(Bandwidth::GBps(1).bytes_per_sec(), 1e9);
+  EXPECT_DOUBLE_EQ(Bandwidth::Mbps(8).bytes_per_sec(), 1e6);
+  EXPECT_DOUBLE_EQ(Bandwidth::Gbps(200).ToGbps(), 200.0);
+  EXPECT_DOUBLE_EQ(Bandwidth::GBps(25).ToGBps(), 25.0);
+  // The factor-of-8 trap: 256 Gbps is 32 GB/s.
+  EXPECT_DOUBLE_EQ(Bandwidth::Gbps(256).ToGBps(), 32.0);
+}
+
+TEST(BandwidthTest, TransferTime) {
+  // 1 GB/s moving 1e9 bytes takes 1 second.
+  EXPECT_EQ(Bandwidth::GBps(1).TransferTime(1'000'000'000), TimeNs::Seconds(1));
+  // 200 Gbps moving 25000 bytes takes 1 microsecond.
+  EXPECT_EQ(Bandwidth::Gbps(200).TransferTime(25'000), TimeNs::Micros(1));
+}
+
+TEST(BandwidthTest, ZeroRateTransferNeverCompletes) {
+  EXPECT_EQ(Bandwidth::Zero().TransferTime(1), TimeNs::Max());
+  EXPECT_TRUE(Bandwidth::Zero().IsZero());
+  EXPECT_FALSE(Bandwidth::Gbps(1).IsZero());
+}
+
+TEST(BandwidthTest, Arithmetic) {
+  const Bandwidth a = Bandwidth::GBps(10);
+  const Bandwidth b = Bandwidth::GBps(4);
+  EXPECT_DOUBLE_EQ((a + b).ToGBps(), 14.0);
+  EXPECT_DOUBLE_EQ((a - b).ToGBps(), 6.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).ToGBps(), 20.0);
+  EXPECT_DOUBLE_EQ((a / 2.0).ToGBps(), 5.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+  Bandwidth c = a;
+  c += b;
+  EXPECT_DOUBLE_EQ(c.ToGBps(), 14.0);
+  c -= b;
+  EXPECT_DOUBLE_EQ(c.ToGBps(), 10.0);
+}
+
+TEST(BandwidthTest, Comparisons) {
+  EXPECT_LT(Bandwidth::Gbps(100), Bandwidth::GBps(100));
+  EXPECT_EQ(Bandwidth::Gbps(8), Bandwidth::GBps(1));
+}
+
+TEST(BandwidthTest, ToStringPicksUnit) {
+  EXPECT_EQ(Bandwidth::GBps(25).ToString(), "25.0GB/s");
+  EXPECT_EQ(Bandwidth::Mbps(80).ToString(), "10.0MB/s");
+}
+
+TEST(ByteUnitsTest, Helpers) {
+  EXPECT_EQ(KiB(4), 4096);
+  EXPECT_EQ(MiB(1), 1048576);
+  EXPECT_EQ(GiB(2), 2147483648LL);
+}
+
+}  // namespace
+}  // namespace mihn::sim

@@ -1,0 +1,239 @@
+#include "src/telemetry/collector.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/host_network.h"
+#include "src/workload/sources.h"
+
+namespace mihn::telemetry {
+namespace {
+
+using sim::Bandwidth;
+using sim::TimeNs;
+
+HostNetwork::Options NoAutoStart() {
+  HostNetwork::Options options;
+  options.start_collector = false;
+  options.start_manager = false;
+  return options;
+}
+
+TEST(CollectorTest, SamplesPeriodically) {
+  HostNetwork host(NoAutoStart());
+  Collector::Config config;
+  config.period = TimeNs::Millis(1);
+  Collector collector(host.fabric(), config);
+  collector.Start();
+  host.RunFor(TimeNs::Millis(10));
+  EXPECT_EQ(collector.samples_taken(), 10u);
+  collector.Stop();
+  host.RunFor(TimeNs::Millis(10));
+  EXPECT_EQ(collector.samples_taken(), 10u);
+}
+
+TEST(CollectorTest, RecordsUtilizationOfActiveLink) {
+  HostNetwork host(NoAutoStart());
+  const auto& server = host.server();
+  Collector::Config config;
+  config.period = TimeNs::Millis(1);
+  Collector collector(host.fabric(), config);
+
+  workload::StreamSource::Config bulk;
+  bulk.src = server.ssds[0];
+  bulk.dst = server.dimms[0];
+  bulk.demand = Bandwidth::GBps(5);
+  workload::StreamSource stream(host.fabric(), bulk);
+  stream.Start();
+
+  collector.Start();
+  host.RunFor(TimeNs::Millis(5));
+
+  const auto path = *host.fabric().Route(server.ssds[0], server.dimms[0]);
+  const topology::DirectedLink hop = path.hops[0];
+  const sim::TimeSeries* util = collector.Series(Collector::LinkUtilKey(hop.link, hop.forward));
+  ASSERT_NE(util, nullptr);
+  EXPECT_EQ(util->size(), 5u);
+  EXPECT_GT(util->Latest().value, 0.1);
+}
+
+TEST(CollectorTest, ThroughputSeriesIncludesPacketTraffic) {
+  HostNetwork host(NoAutoStart());
+  const auto& server = host.server();
+  Collector::Config config;
+  config.period = TimeNs::Millis(1);
+  Collector collector(host.fabric(), config);
+  collector.Start();
+
+  // Only packet traffic: 1000 x 1 KiB packets per ms on nic0 -> s0. The
+  // fluid rate_bps stays 0, but the byte-delta throughput sees it.
+  const auto path = *host.fabric().Route(server.nics[0], server.sockets[0]);
+  host.simulation().SchedulePeriodic(TimeNs::Micros(1), [&] {
+    fabric::PacketSpec pkt;
+    pkt.path = path;
+    pkt.bytes = 1024;
+    host.fabric().SendPacket(std::move(pkt));
+  });
+  host.RunFor(TimeNs::Millis(10));
+
+  const topology::DirectedLink hop = path.hops[0];
+  const sim::TimeSeries* rate = collector.Series(Collector::LinkRateKey(hop.link, hop.forward));
+  const sim::TimeSeries* thpt =
+      collector.Series(Collector::LinkThroughputKey(hop.link, hop.forward));
+  ASSERT_NE(rate, nullptr);
+  ASSERT_NE(thpt, nullptr);
+  EXPECT_DOUBLE_EQ(rate->Latest().value, 0.0);
+  // ~1 KiB/us = ~1.024 GB/s.
+  EXPECT_NEAR(thpt->Latest().value, 1.024e9, 0.05e9);
+}
+
+TEST(CollectorTest, ThroughputMatchesFluidRateForFlows) {
+  HostNetwork host(NoAutoStart());
+  const auto& server = host.server();
+  Collector::Config config;
+  config.period = TimeNs::Millis(1);
+  Collector collector(host.fabric(), config);
+  collector.Start();
+  workload::StreamSource::Config bulk;
+  bulk.src = server.ssds[0];
+  bulk.dst = server.dimms[0];
+  bulk.demand = Bandwidth::GBps(5);
+  workload::StreamSource stream(host.fabric(), bulk);
+  stream.Start();
+  host.RunFor(TimeNs::Millis(5));
+  const auto path = *host.fabric().Route(server.ssds[0], server.dimms[0]);
+  const topology::DirectedLink hop = path.hops[0];
+  const sim::TimeSeries* thpt =
+      collector.Series(Collector::LinkThroughputKey(hop.link, hop.forward));
+  ASSERT_NE(thpt, nullptr);
+  EXPECT_NEAR(thpt->Latest().value, 5e9, 1e7);
+}
+
+TEST(CollectorTest, FineModeHasPerTenantSeries) {
+  HostNetwork host(NoAutoStart());
+  const auto& server = host.server();
+  Collector::Config config;
+  config.granularity = Granularity::kFine;
+  Collector collector(host.fabric(), config);
+
+  workload::StreamSource::Config bulk;
+  bulk.src = server.ssds[0];
+  bulk.dst = server.dimms[0];
+  bulk.tenant = 42;
+  workload::StreamSource stream(host.fabric(), bulk);
+  stream.Start();
+  collector.SampleOnce();
+
+  const auto path = *host.fabric().Route(server.ssds[0], server.dimms[0]);
+  const topology::DirectedLink hop = path.hops[0];
+  const sim::TimeSeries* tenant_rate =
+      collector.Series(Collector::TenantRateKey(hop.link, hop.forward, 42));
+  ASSERT_NE(tenant_rate, nullptr);
+  EXPECT_GT(tenant_rate->Latest().value, 0.0);
+  // Cache series exist in fine mode.
+  EXPECT_NE(collector.Series(Collector::CacheHitKey(server.sockets[0])), nullptr);
+}
+
+TEST(CollectorTest, CoarseModeOmitsTenantsAndClampsPeriod) {
+  HostNetwork host(NoAutoStart());
+  const auto& server = host.server();
+  Collector::Config config;
+  config.granularity = Granularity::kCoarse;
+  config.period = TimeNs::Micros(10);  // Far below the hardware floor.
+  Collector collector(host.fabric(), config);
+  EXPECT_EQ(collector.config().period, kCoarseMinPeriod);
+
+  workload::StreamSource::Config bulk;
+  bulk.src = server.ssds[0];
+  bulk.dst = server.dimms[0];
+  bulk.tenant = 42;
+  workload::StreamSource stream(host.fabric(), bulk);
+  stream.Start();
+  collector.SampleOnce();
+
+  const auto path = *host.fabric().Route(server.ssds[0], server.dimms[0]);
+  const topology::DirectedLink hop = path.hops[0];
+  EXPECT_EQ(collector.Series(Collector::TenantRateKey(hop.link, hop.forward, 42)), nullptr);
+  EXPECT_EQ(collector.Series(Collector::CacheHitKey(server.sockets[0])), nullptr);
+  // Aggregate series still exist.
+  EXPECT_NE(collector.Series(Collector::LinkUtilKey(hop.link, hop.forward)), nullptr);
+}
+
+TEST(CollectorTest, FineHasMoreSeriesThanCoarse) {
+  auto series_count = [](Granularity g) {
+    HostNetwork host(NoAutoStart());
+    workload::StreamSource::Config bulk;
+    bulk.src = host.server().ssds[0];
+    bulk.dst = host.server().dimms[0];
+    bulk.tenant = 1;
+    workload::StreamSource stream(host.fabric(), bulk);
+    stream.Start();
+    Collector::Config config;
+    config.granularity = g;
+    Collector collector(host.fabric(), config);
+    collector.SampleOnce();
+    return collector.series_count();
+  };
+  EXPECT_GT(series_count(Granularity::kFine), series_count(Granularity::kCoarse));
+}
+
+TEST(CollectorTest, ReportingInjectsMonitorTraffic) {
+  HostNetwork host(NoAutoStart());
+  const auto& server = host.server();
+  ASSERT_NE(server.monitor_store, topology::kInvalidComponent);
+  Collector::Config config;
+  config.period = TimeNs::Millis(1);
+  config.report_to = server.monitor_store;
+  Collector collector(host.fabric(), config);
+  collector.Start();
+  host.RunFor(TimeNs::Millis(10));
+  EXPECT_GT(collector.bytes_reported(), 0);
+  // The monitor-store link carries kMonitor-class bytes.
+  const auto path = *host.fabric().Route(server.sockets[0], server.monitor_store);
+  const auto snap = host.fabric().Snapshot(path.hops[0]);
+  EXPECT_GT(snap.bytes_by_class[static_cast<size_t>(fabric::TrafficClass::kMonitor)], 0.0);
+  EXPECT_DOUBLE_EQ(
+      snap.bytes_by_class[static_cast<size_t>(fabric::TrafficClass::kMonitor)],
+      static_cast<double>(collector.bytes_reported()));
+}
+
+TEST(CollectorTest, NoReportingWhenUnset) {
+  HostNetwork host(NoAutoStart());
+  Collector::Config config;
+  Collector collector(host.fabric(), config);
+  collector.Start();
+  host.RunFor(TimeNs::Millis(5));
+  EXPECT_EQ(collector.bytes_reported(), 0);
+}
+
+TEST(CollectorTest, StoragePressureDropsOldPoints) {
+  HostNetwork host(NoAutoStart());
+  Collector::Config config;
+  config.period = TimeNs::Millis(1);
+  config.series_capacity = 4;
+  Collector collector(host.fabric(), config);
+  collector.Start();
+  host.RunFor(TimeNs::Millis(10));
+  EXPECT_GT(collector.total_dropped_points(), 0u);
+  for (const auto& key : collector.Keys()) {
+    EXPECT_LE(collector.Series(key)->size(), 4u);
+  }
+}
+
+TEST(CollectorTest, KeysAreStableSchema) {
+  EXPECT_EQ(Collector::LinkUtilKey(3, true), "link/3/fwd/util");
+  EXPECT_EQ(Collector::LinkRateKey(3, false), "link/3/rev/rate");
+  EXPECT_EQ(Collector::TenantRateKey(0, true, 7), "link/0/fwd/tenant/7/rate");
+  EXPECT_EQ(Collector::CacheHitKey(2), "socket/2/cache_hit");
+  EXPECT_EQ(Collector::ClassRateKey(1, true, fabric::TrafficClass::kSpill),
+            "link/1/fwd/class/spill/rate");
+}
+
+TEST(CollectorTest, SeriesLookupMissReturnsNull) {
+  HostNetwork host(NoAutoStart());
+  Collector collector(host.fabric(), Collector::Config{});
+  EXPECT_EQ(collector.Series("nope"), nullptr);
+  EXPECT_TRUE(collector.Keys().empty());
+}
+
+}  // namespace
+}  // namespace mihn::telemetry

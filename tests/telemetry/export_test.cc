@@ -1,0 +1,75 @@
+#include "src/telemetry/export.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/core/host_network.h"
+
+namespace mihn::telemetry {
+namespace {
+
+HostNetwork::Options NoAutoStart() {
+  HostNetwork::Options options;
+  options.start_collector = false;
+  options.start_manager = false;
+  return options;
+}
+
+TEST(ExportTest, WritesHeaderAndRows) {
+  HostNetwork host(NoAutoStart());
+  Collector::Config config;
+  config.period = sim::TimeNs::Millis(1);
+  Collector collector(host.fabric(), config);
+  collector.Start();
+  host.RunFor(sim::TimeNs::Millis(3));
+
+  std::ostringstream out;
+  const size_t rows = WriteCsv(collector, out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("time_ns,metric,value\n"), std::string::npos);
+  EXPECT_GT(rows, 0u);
+  // Row count == total retained points.
+  size_t expected = 0;
+  for (const auto& key : collector.Keys()) {
+    expected += collector.Series(key)->size();
+  }
+  EXPECT_EQ(rows, expected);
+  // Line count = rows + header.
+  size_t lines = 0;
+  for (const char c : csv) {
+    lines += c == '\n' ? 1 : 0;
+  }
+  EXPECT_EQ(lines, rows + 1);
+}
+
+TEST(ExportTest, KeyFilterRestrictsOutput) {
+  HostNetwork host(NoAutoStart());
+  Collector collector(host.fabric(), Collector::Config{});
+  collector.SampleOnce();
+  const std::string key = Collector::LinkUtilKey(0, true);
+  std::ostringstream out;
+  const size_t rows = WriteCsv(collector, out, {key});
+  EXPECT_EQ(rows, 1u);
+  EXPECT_NE(out.str().find(key), std::string::npos);
+  EXPECT_EQ(out.str().find("link/1/"), std::string::npos);
+}
+
+TEST(ExportTest, UnknownKeysSkipped) {
+  HostNetwork host(NoAutoStart());
+  Collector collector(host.fabric(), Collector::Config{});
+  collector.SampleOnce();
+  std::ostringstream out;
+  EXPECT_EQ(WriteCsv(collector, out, {"no/such/key"}), 0u);
+}
+
+TEST(ExportTest, EmptyCollectorWritesHeaderOnly) {
+  HostNetwork host(NoAutoStart());
+  Collector collector(host.fabric(), Collector::Config{});
+  std::ostringstream out;
+  EXPECT_EQ(WriteCsv(collector, out), 0u);
+  EXPECT_EQ(out.str(), "time_ns,metric,value\n");
+}
+
+}  // namespace
+}  // namespace mihn::telemetry

@@ -1,0 +1,124 @@
+#include "src/workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/host_network.h"
+
+namespace mihn::workload {
+namespace {
+
+using sim::TimeNs;
+
+HostNetwork::Options Quiet() {
+  HostNetwork::Options options;
+  options.start_collector = false;
+  options.start_manager = false;
+  return options;
+}
+
+std::vector<TraceEvent> SampleTrace() {
+  return {
+      {TimeNs::Millis(1), "ssd0", "s0.mc0.dimm0", 1'000'000, 1, false},
+      {TimeNs::Millis(2), "nic0", "s0", 2'000'000, 2, true},
+      {TimeNs::Millis(3), "gpu0", "s0.mc0.dimm1", 500'000, 1, false},
+  };
+}
+
+TEST(TraceTest, CsvRoundTrip) {
+  const auto events = SampleTrace();
+  const std::string csv = TraceToCsv(events);
+  const TraceParseResult parsed = TraceFromCsv(csv);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_EQ(parsed.events, events);
+}
+
+TEST(TraceTest, ParseErrors) {
+  EXPECT_NE(TraceFromCsv("").error, "");
+  EXPECT_NE(TraceFromCsv("wrong,header\n").error, "");
+  EXPECT_NE(TraceFromCsv("at_ns,src,dst,bytes,tenant,ddio\n1,2,3\n").error, "");
+  EXPECT_NE(TraceFromCsv("at_ns,src,dst,bytes,tenant,ddio\nabc,a,b,1,1,0\n").error, "");
+  // Error cites the line.
+  EXPECT_NE(TraceFromCsv("at_ns,src,dst,bytes,tenant,ddio\n1,a,b,1,1,0\nxx,a,b\n")
+                .error.find("line 3"),
+            std::string::npos);
+}
+
+TEST(TraceTest, ReplayIssuesAllTransfers) {
+  HostNetwork host(Quiet());
+  TraceReplayer::Config config;
+  config.events = SampleTrace();
+  TraceReplayer replayer(host.fabric(), config);
+  replayer.Start();
+  host.RunFor(TimeNs::Millis(100));
+  EXPECT_EQ(replayer.issued(), 3);
+  EXPECT_EQ(replayer.skipped(), 0);
+  EXPECT_EQ(replayer.completed(), 3);
+  EXPECT_GT(replayer.sojourn_us().mean(), 0.0);
+}
+
+TEST(TraceTest, ReplayRespectsTimestamps) {
+  HostNetwork host(Quiet());
+  TraceReplayer::Config config;
+  config.events = {{TimeNs::Millis(5), "ssd0", "s0.mc0.dimm0", 100, 1, false}};
+  TraceReplayer replayer(host.fabric(), config);
+  replayer.Start();
+  host.RunFor(TimeNs::Millis(4));
+  EXPECT_EQ(replayer.issued(), 0);
+  host.RunFor(TimeNs::Millis(2));
+  EXPECT_EQ(replayer.issued(), 1);
+}
+
+TEST(TraceTest, TimeScaleStretchesTheSchedule) {
+  HostNetwork host(Quiet());
+  TraceReplayer::Config config;
+  config.events = {{TimeNs::Millis(5), "ssd0", "s0.mc0.dimm0", 100, 1, false}};
+  config.time_scale = 2.0;
+  TraceReplayer replayer(host.fabric(), config);
+  replayer.Start();
+  host.RunFor(TimeNs::Millis(9));
+  EXPECT_EQ(replayer.issued(), 0);
+  host.RunFor(TimeNs::Millis(2));
+  EXPECT_EQ(replayer.issued(), 1);
+}
+
+TEST(TraceTest, UnknownComponentsAreSkippedNotFatal) {
+  HostNetwork host(Quiet());
+  TraceReplayer::Config config;
+  config.events = {{TimeNs::Millis(1), "nope", "s0", 100, 1, false},
+                   {TimeNs::Millis(2), "ssd0", "s0.mc0.dimm0", 100, 1, false}};
+  TraceReplayer replayer(host.fabric(), config);
+  replayer.Start();
+  host.RunFor(TimeNs::Millis(50));
+  EXPECT_EQ(replayer.skipped(), 1);
+  EXPECT_EQ(replayer.issued(), 1);
+}
+
+TEST(TraceTest, StopCancelsRemainingEvents) {
+  HostNetwork host(Quiet());
+  TraceReplayer::Config config;
+  config.events = SampleTrace();
+  TraceReplayer replayer(host.fabric(), config);
+  replayer.Start();
+  host.RunFor(TimeNs::Micros(1500));  // Only the first event has fired.
+  replayer.Stop();
+  host.RunFor(TimeNs::Millis(50));
+  EXPECT_EQ(replayer.issued(), 1);
+}
+
+TEST(TraceTest, DdioFlagCarriesThrough) {
+  HostNetwork host(Quiet());
+  fabric::FabricConfig tiny_cache;
+  tiny_cache.way_bytes = 10 * 1024;
+  tiny_cache.ddio_ways = 1;
+  host.fabric().SetConfig(tiny_cache);
+  TraceReplayer::Config config;
+  // A large elastic-duration DDIO write: spill appears while in flight.
+  config.events = {{TimeNs::Millis(1), "nic0", "s0", 500'000'000, 7, true}};
+  TraceReplayer replayer(host.fabric(), config);
+  replayer.Start();
+  host.RunFor(TimeNs::Millis(5));
+  EXPECT_LT(host.fabric().CacheStats(host.server().sockets[0]).hit_rate, 1.0);
+}
+
+}  // namespace
+}  // namespace mihn::workload

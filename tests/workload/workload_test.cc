@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include "src/core/host_network.h"
+#include "src/workload/kv_client.h"
+#include "src/workload/ml_trainer.h"
+#include "src/workload/sources.h"
+
+namespace mihn::workload {
+namespace {
+
+using sim::Bandwidth;
+using sim::TimeNs;
+
+HostNetwork::Options QuietOptions() {
+  HostNetwork::Options options;
+  options.start_collector = false;
+  options.start_manager = false;
+  options.manager.mode = manager::ManagerConfig::Mode::kOff;
+  return options;
+}
+
+TEST(KvClientTest, CompletesOpsAtExpectedUnloadedLatency) {
+  HostNetwork host(QuietOptions());
+  KvClient::Config config;
+  config.client = host.server().external_hosts[0];
+  config.server = host.server().sockets[0];
+  config.concurrency = 1;
+  config.service_time = TimeNs::Micros(1);
+  KvClient kv(host.fabric(), config);
+  kv.Start();
+  host.RunFor(TimeNs::Millis(10));
+  kv.Stop();
+  EXPECT_GT(kv.completed_ops(), 100);
+  // Unloaded: ~2x path latency (couple of us) + 1 us service; well under 20 us.
+  EXPECT_GT(kv.latency_us().mean(), 1.0);
+  EXPECT_LT(kv.latency_us().Percentile(0.99), 20.0);
+}
+
+TEST(KvClientTest, ConcurrencyScalesThroughput) {
+  HostNetwork host(QuietOptions());
+  KvClient::Config config;
+  config.client = host.server().external_hosts[0];
+  config.server = host.server().sockets[0];
+  config.concurrency = 1;
+  KvClient one(host.fabric(), config);
+  config.concurrency = 8;
+  config.name = "kv8";
+  KvClient eight(host.fabric(), config);
+  one.Start();
+  eight.Start();
+  host.RunFor(TimeNs::Millis(10));
+  EXPECT_GT(eight.completed_ops(), one.completed_ops() * 4);
+}
+
+TEST(KvClientTest, CongestionInflatesLatency) {
+  HostNetwork host(QuietOptions());
+  const auto& server = host.server();
+  KvClient::Config config;
+  config.client = server.external_hosts[0];
+  config.server = server.sockets[0];
+  config.concurrency = 2;
+  KvClient kv(host.fabric(), config);
+  kv.Start();
+  host.RunFor(TimeNs::Millis(5));
+  const double before_p50 = kv.latency_us().Percentile(0.5);
+
+  // Saturate the PCIe path the KV traffic shares (nic0's switch uplink) in
+  // both directions — requests and responses both queue.
+  StreamSource::Config up;
+  up.src = server.gpus[0];  // Same switch as nic0.
+  up.dst = server.sockets[0];
+  StreamSource up_stream(host.fabric(), up);
+  up_stream.Start();
+  StreamSource::Config down;
+  down.src = server.sockets[0];
+  down.dst = server.gpus[0];
+  StreamSource down_stream(host.fabric(), down);
+  down_stream.Start();
+  host.RunFor(TimeNs::Millis(5));
+  // Each direction gains one saturated PCIe switch hop: ~1.4 us of queueing
+  // per direction at the 20x inflation cap.
+  const double after_p99 = kv.latency_us().Percentile(0.99);
+  EXPECT_GT(after_p99, before_p50 + 2.0);
+}
+
+TEST(KvClientTest, StopHaltsTraffic) {
+  HostNetwork host(QuietOptions());
+  KvClient::Config config;
+  config.client = host.server().external_hosts[0];
+  config.server = host.server().sockets[0];
+  KvClient kv(host.fabric(), config);
+  kv.Start();
+  host.RunFor(TimeNs::Millis(1));
+  kv.Stop();
+  const int64_t ops = kv.completed_ops();
+  host.RunFor(TimeNs::Millis(5));
+  EXPECT_EQ(kv.completed_ops(), ops);
+}
+
+TEST(MlTrainerTest, IterationsCompleteWithExpectedTiming) {
+  HostNetwork host(QuietOptions());
+  const auto& server = host.server();
+  MlTrainer::Config config;
+  config.data_source = server.dimms[0];
+  config.gpu = server.gpus[0];
+  config.batch_bytes = 64LL * 1024 * 1024;  // 64 MiB.
+  config.compute_time = TimeNs::Millis(5);
+  MlTrainer trainer(host.fabric(), config);
+  trainer.Start();
+  host.RunFor(TimeNs::Millis(200));
+  trainer.Stop();
+  EXPECT_GT(trainer.iterations(), 10);
+  // Load at PCIe-ish speed (~29 GB/s effective): ~2.2ms; +5ms compute.
+  EXPECT_GT(trainer.iteration_ms().mean(), 5.0);
+  EXPECT_LT(trainer.iteration_ms().mean(), 15.0);
+  EXPECT_GT(trainer.load_bandwidth_gbps().mean(), 5.0);
+}
+
+TEST(MlTrainerTest, GradientPushExtendsIteration) {
+  HostNetwork host(QuietOptions());
+  const auto& server = host.server();
+  MlTrainer::Config config;
+  config.data_source = server.dimms[0];
+  config.gpu = server.gpus[0];
+  config.batch_bytes = 16LL * 1024 * 1024;
+  config.compute_time = TimeNs::Millis(1);
+  MlTrainer plain(host.fabric(), config);
+  config.gradient_sink = server.external_hosts[0];
+  config.gradient_bytes = 64LL * 1024 * 1024;
+  config.name = "ml_grad";
+  MlTrainer with_grad(host.fabric(), config);
+
+  plain.Start();
+  host.RunFor(TimeNs::Millis(100));
+  plain.Stop();
+  with_grad.Start();
+  host.RunFor(TimeNs::Millis(100));
+  with_grad.Stop();
+  EXPECT_GT(with_grad.iteration_ms().mean(), plain.iteration_ms().mean());
+}
+
+TEST(StreamSourceTest, AchievesDemandAndStops) {
+  HostNetwork host(QuietOptions());
+  const auto& server = host.server();
+  StreamSource::Config config;
+  config.src = server.ssds[0];
+  config.dst = server.dimms[0];
+  config.demand = Bandwidth::GBps(5);
+  StreamSource stream(host.fabric(), config);
+  stream.Start();
+  EXPECT_TRUE(stream.running());
+  EXPECT_DOUBLE_EQ(stream.AchievedRate().ToGBps(), 5.0);
+  stream.Stop();
+  EXPECT_FALSE(stream.running());
+  EXPECT_TRUE(stream.AchievedRate().IsZero());
+}
+
+TEST(StreamSourceTest, ElasticStreamSaturatesPath) {
+  HostNetwork host(QuietOptions());
+  const auto& server = host.server();
+  StreamSource::Config config;
+  config.src = server.ssds[0];
+  config.dst = server.dimms[0];
+  StreamSource stream(host.fabric(), config);
+  stream.Start();
+  // Bottleneck is PCIe-class (~32 GB/s raw, ~29 effective).
+  EXPECT_GT(stream.AchievedRate().ToGBps(), 20.0);
+}
+
+TEST(LoopbackRdmaTest, LoadsPcieBothDirections) {
+  HostNetwork host(QuietOptions());
+  const auto& server = host.server();
+  LoopbackRdma::Config config;
+  config.nic = server.nics[0];
+  config.socket = server.sockets[0];
+  LoopbackRdma loopback(host.fabric(), config);
+  loopback.Start();
+  EXPECT_GT(loopback.ReadRate().ToGBps(), 10.0);
+  EXPECT_GT(loopback.WriteRate().ToGBps(), 10.0);
+  // Both directions of the NIC's switch downlink are loaded.
+  const auto path = *host.fabric().Route(server.nics[0], server.sockets[0]);
+  const topology::DirectedLink first_hop = path.hops[0];
+  EXPECT_GT(host.fabric().Utilization(first_hop), 0.9);
+  EXPECT_GT(host.fabric().Utilization({first_hop.link, !first_hop.forward}), 0.9);
+  loopback.Stop();
+  EXPECT_DOUBLE_EQ(host.fabric().Utilization(first_hop), 0.0);
+}
+
+TEST(PoissonSourceTest, ArrivalCountMatchesRate) {
+  HostNetwork host(QuietOptions());
+  const auto& server = host.server();
+  PoissonSource::Config config;
+  config.src = server.external_hosts[0];
+  config.dst = server.sockets[0];
+  config.arrivals_per_sec = 10'000.0;
+  config.mean_bytes = 4096;
+  PoissonSource source(host.fabric(), config);
+  source.Start();
+  host.RunFor(TimeNs::Millis(100));
+  source.Stop();
+  // Expect ~1000 arrivals; Poisson sigma ~32.
+  EXPECT_NEAR(static_cast<double>(source.started_transfers()), 1000.0, 150.0);
+  EXPECT_GT(source.completed_transfers(), 0);
+  EXPECT_GT(source.sojourn_us().mean(), 0.0);
+}
+
+TEST(PoissonSourceTest, DeterministicAcrossIdenticalRuns) {
+  auto run = [] {
+    HostNetwork host(QuietOptions());
+    PoissonSource::Config config;
+    config.src = host.server().external_hosts[0];
+    config.dst = host.server().sockets[0];
+    config.arrivals_per_sec = 5'000.0;
+    PoissonSource source(host.fabric(), config);
+    source.Start();
+    host.RunFor(TimeNs::Millis(50));
+    return source.started_transfers();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(PoissonSourceTest, ParetoSizesVary) {
+  HostNetwork host(QuietOptions());
+  PoissonSource::Config config;
+  config.src = host.server().external_hosts[0];
+  config.dst = host.server().sockets[0];
+  // Low arrival rate and megabyte-scale sizes so sojourns are size-driven:
+  // small transfers sit on the ~30 us delivery-latency floor (a transfer
+  // saturates its own path), so the tail must come from the size tail.
+  config.arrivals_per_sec = 500.0;
+  config.pareto_alpha = 1.2;
+  config.mean_bytes = 1024 * 1024;
+  PoissonSource source(host.fabric(), config);
+  source.Start();
+  host.RunFor(TimeNs::Millis(400));
+  source.Stop();
+  EXPECT_GT(source.completed_transfers(), 100);
+  // Heavy tail: p99 sojourn well above median.
+  EXPECT_GT(source.sojourn_us().Percentile(0.99), source.sojourn_us().Percentile(0.5) * 2);
+}
+
+TEST(BurstySourceTest, TogglesOnAndOff) {
+  HostNetwork host(QuietOptions());
+  BurstySource::Config config;
+  config.src = host.server().ssds[0];
+  config.dst = host.server().dimms[0];
+  config.mean_on = TimeNs::Millis(2);
+  config.mean_off = TimeNs::Millis(2);
+  BurstySource bursty(host.fabric(), config);
+  bursty.Start();
+  host.RunFor(TimeNs::Millis(100));
+  EXPECT_GT(bursty.bursts(), 5);
+  bursty.Stop();
+  EXPECT_FALSE(bursty.IsOn());
+  // No lingering flows after stop.
+  EXPECT_TRUE(host.fabric().ActiveFlows().empty());
+}
+
+TEST(WorkloadBaseTest, StartIsIdempotent) {
+  HostNetwork host(QuietOptions());
+  StreamSource::Config config;
+  config.src = host.server().ssds[0];
+  config.dst = host.server().dimms[0];
+  config.demand = Bandwidth::GBps(1);
+  StreamSource stream(host.fabric(), config);
+  stream.Start();
+  stream.Start();
+  EXPECT_EQ(host.fabric().ActiveFlows().size(), 1u);
+}
+
+}  // namespace
+}  // namespace mihn::workload
