@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cxl.dir/bench_cxl.cpp.o"
+  "CMakeFiles/bench_cxl.dir/bench_cxl.cpp.o.d"
+  "bench_cxl"
+  "bench_cxl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cxl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ddio_thrashing.dir/bench_ddio_thrashing.cpp.o"
+  "CMakeFiles/bench_ddio_thrashing.dir/bench_ddio_thrashing.cpp.o.d"
+  "bench_ddio_thrashing"
+  "bench_ddio_thrashing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ddio_thrashing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

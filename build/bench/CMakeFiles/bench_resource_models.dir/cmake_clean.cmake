@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_resource_models.dir/bench_resource_models.cpp.o"
+  "CMakeFiles/bench_resource_models.dir/bench_resource_models.cpp.o.d"
+  "bench_resource_models"
+  "bench_resource_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_resource_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

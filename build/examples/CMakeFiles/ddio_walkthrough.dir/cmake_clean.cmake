@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddio_walkthrough.dir/ddio_walkthrough.cpp.o"
+  "CMakeFiles/ddio_walkthrough.dir/ddio_walkthrough.cpp.o.d"
+  "ddio_walkthrough"
+  "ddio_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddio_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mihnctl.dir/mihnctl.cpp.o"
+  "CMakeFiles/mihnctl.dir/mihnctl.cpp.o.d"
+  "mihnctl"
+  "mihnctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mihnctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

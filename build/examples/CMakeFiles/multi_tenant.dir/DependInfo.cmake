@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/multi_tenant.cpp" "examples/CMakeFiles/multi_tenant.dir/multi_tenant.cpp.o" "gcc" "examples/CMakeFiles/multi_tenant.dir/multi_tenant.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mihn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/anomaly/CMakeFiles/mihn_anomaly.dir/DependInfo.cmake"
+  "/root/repo/build/src/diagnose/CMakeFiles/mihn_diagnose.dir/DependInfo.cmake"
+  "/root/repo/build/src/manager/CMakeFiles/mihn_manager.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/mihn_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mihn_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/mihn_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/mihn_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mihn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

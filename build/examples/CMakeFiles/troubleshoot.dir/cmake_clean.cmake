@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/troubleshoot.dir/troubleshoot.cpp.o"
+  "CMakeFiles/troubleshoot.dir/troubleshoot.cpp.o.d"
+  "troubleshoot"
+  "troubleshoot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/troubleshoot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

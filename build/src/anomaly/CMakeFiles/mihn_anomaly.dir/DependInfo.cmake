@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/anomaly/bank.cc" "src/anomaly/CMakeFiles/mihn_anomaly.dir/bank.cc.o" "gcc" "src/anomaly/CMakeFiles/mihn_anomaly.dir/bank.cc.o.d"
+  "/root/repo/src/anomaly/detectors.cc" "src/anomaly/CMakeFiles/mihn_anomaly.dir/detectors.cc.o" "gcc" "src/anomaly/CMakeFiles/mihn_anomaly.dir/detectors.cc.o.d"
+  "/root/repo/src/anomaly/heartbeat.cc" "src/anomaly/CMakeFiles/mihn_anomaly.dir/heartbeat.cc.o" "gcc" "src/anomaly/CMakeFiles/mihn_anomaly.dir/heartbeat.cc.o.d"
+  "/root/repo/src/anomaly/misconfig.cc" "src/anomaly/CMakeFiles/mihn_anomaly.dir/misconfig.cc.o" "gcc" "src/anomaly/CMakeFiles/mihn_anomaly.dir/misconfig.cc.o.d"
+  "/root/repo/src/anomaly/multivariate.cc" "src/anomaly/CMakeFiles/mihn_anomaly.dir/multivariate.cc.o" "gcc" "src/anomaly/CMakeFiles/mihn_anomaly.dir/multivariate.cc.o.d"
+  "/root/repo/src/anomaly/root_cause.cc" "src/anomaly/CMakeFiles/mihn_anomaly.dir/root_cause.cc.o" "gcc" "src/anomaly/CMakeFiles/mihn_anomaly.dir/root_cause.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fabric/CMakeFiles/mihn_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/mihn_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/mihn_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mihn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mihn_anomaly.dir/bank.cc.o"
+  "CMakeFiles/mihn_anomaly.dir/bank.cc.o.d"
+  "CMakeFiles/mihn_anomaly.dir/detectors.cc.o"
+  "CMakeFiles/mihn_anomaly.dir/detectors.cc.o.d"
+  "CMakeFiles/mihn_anomaly.dir/heartbeat.cc.o"
+  "CMakeFiles/mihn_anomaly.dir/heartbeat.cc.o.d"
+  "CMakeFiles/mihn_anomaly.dir/misconfig.cc.o"
+  "CMakeFiles/mihn_anomaly.dir/misconfig.cc.o.d"
+  "CMakeFiles/mihn_anomaly.dir/multivariate.cc.o"
+  "CMakeFiles/mihn_anomaly.dir/multivariate.cc.o.d"
+  "CMakeFiles/mihn_anomaly.dir/root_cause.cc.o"
+  "CMakeFiles/mihn_anomaly.dir/root_cause.cc.o.d"
+  "libmihn_anomaly.a"
+  "libmihn_anomaly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mihn_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

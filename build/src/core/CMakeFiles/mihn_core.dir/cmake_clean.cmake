@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mihn_core.dir/host_network.cc.o"
+  "CMakeFiles/mihn_core.dir/host_network.cc.o.d"
+  "libmihn_core.a"
+  "libmihn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mihn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

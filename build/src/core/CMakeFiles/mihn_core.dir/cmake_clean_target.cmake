@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmihn_core.a"
+)

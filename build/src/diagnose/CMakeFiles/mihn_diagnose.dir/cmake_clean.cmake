@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mihn_diagnose.dir/tools.cc.o"
+  "CMakeFiles/mihn_diagnose.dir/tools.cc.o.d"
+  "libmihn_diagnose.a"
+  "libmihn_diagnose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mihn_diagnose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/cache_model.cc" "src/fabric/CMakeFiles/mihn_fabric.dir/cache_model.cc.o" "gcc" "src/fabric/CMakeFiles/mihn_fabric.dir/cache_model.cc.o.d"
+  "/root/repo/src/fabric/config.cc" "src/fabric/CMakeFiles/mihn_fabric.dir/config.cc.o" "gcc" "src/fabric/CMakeFiles/mihn_fabric.dir/config.cc.o.d"
+  "/root/repo/src/fabric/fabric.cc" "src/fabric/CMakeFiles/mihn_fabric.dir/fabric.cc.o" "gcc" "src/fabric/CMakeFiles/mihn_fabric.dir/fabric.cc.o.d"
+  "/root/repo/src/fabric/max_min.cc" "src/fabric/CMakeFiles/mihn_fabric.dir/max_min.cc.o" "gcc" "src/fabric/CMakeFiles/mihn_fabric.dir/max_min.cc.o.d"
+  "/root/repo/src/fabric/types.cc" "src/fabric/CMakeFiles/mihn_fabric.dir/types.cc.o" "gcc" "src/fabric/CMakeFiles/mihn_fabric.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mihn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/mihn_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mihn_fabric.dir/cache_model.cc.o"
+  "CMakeFiles/mihn_fabric.dir/cache_model.cc.o.d"
+  "CMakeFiles/mihn_fabric.dir/config.cc.o"
+  "CMakeFiles/mihn_fabric.dir/config.cc.o.d"
+  "CMakeFiles/mihn_fabric.dir/fabric.cc.o"
+  "CMakeFiles/mihn_fabric.dir/fabric.cc.o.d"
+  "CMakeFiles/mihn_fabric.dir/max_min.cc.o"
+  "CMakeFiles/mihn_fabric.dir/max_min.cc.o.d"
+  "CMakeFiles/mihn_fabric.dir/types.cc.o"
+  "CMakeFiles/mihn_fabric.dir/types.cc.o.d"
+  "libmihn_fabric.a"
+  "libmihn_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mihn_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/manager/intent.cc" "src/manager/CMakeFiles/mihn_manager.dir/intent.cc.o" "gcc" "src/manager/CMakeFiles/mihn_manager.dir/intent.cc.o.d"
+  "/root/repo/src/manager/manager.cc" "src/manager/CMakeFiles/mihn_manager.dir/manager.cc.o" "gcc" "src/manager/CMakeFiles/mihn_manager.dir/manager.cc.o.d"
+  "/root/repo/src/manager/scheduler.cc" "src/manager/CMakeFiles/mihn_manager.dir/scheduler.cc.o" "gcc" "src/manager/CMakeFiles/mihn_manager.dir/scheduler.cc.o.d"
+  "/root/repo/src/manager/slo_monitor.cc" "src/manager/CMakeFiles/mihn_manager.dir/slo_monitor.cc.o" "gcc" "src/manager/CMakeFiles/mihn_manager.dir/slo_monitor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fabric/CMakeFiles/mihn_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/mihn_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mihn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mihn_manager.dir/intent.cc.o"
+  "CMakeFiles/mihn_manager.dir/intent.cc.o.d"
+  "CMakeFiles/mihn_manager.dir/manager.cc.o"
+  "CMakeFiles/mihn_manager.dir/manager.cc.o.d"
+  "CMakeFiles/mihn_manager.dir/scheduler.cc.o"
+  "CMakeFiles/mihn_manager.dir/scheduler.cc.o.d"
+  "CMakeFiles/mihn_manager.dir/slo_monitor.cc.o"
+  "CMakeFiles/mihn_manager.dir/slo_monitor.cc.o.d"
+  "libmihn_manager.a"
+  "libmihn_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mihn_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mihn_sim.dir/random.cc.o"
+  "CMakeFiles/mihn_sim.dir/random.cc.o.d"
+  "CMakeFiles/mihn_sim.dir/simulation.cc.o"
+  "CMakeFiles/mihn_sim.dir/simulation.cc.o.d"
+  "CMakeFiles/mihn_sim.dir/stats.cc.o"
+  "CMakeFiles/mihn_sim.dir/stats.cc.o.d"
+  "CMakeFiles/mihn_sim.dir/time.cc.o"
+  "CMakeFiles/mihn_sim.dir/time.cc.o.d"
+  "CMakeFiles/mihn_sim.dir/time_series.cc.o"
+  "CMakeFiles/mihn_sim.dir/time_series.cc.o.d"
+  "CMakeFiles/mihn_sim.dir/units.cc.o"
+  "CMakeFiles/mihn_sim.dir/units.cc.o.d"
+  "libmihn_sim.a"
+  "libmihn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mihn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

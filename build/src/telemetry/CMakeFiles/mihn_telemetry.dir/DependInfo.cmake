@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/collector.cc" "src/telemetry/CMakeFiles/mihn_telemetry.dir/collector.cc.o" "gcc" "src/telemetry/CMakeFiles/mihn_telemetry.dir/collector.cc.o.d"
+  "/root/repo/src/telemetry/export.cc" "src/telemetry/CMakeFiles/mihn_telemetry.dir/export.cc.o" "gcc" "src/telemetry/CMakeFiles/mihn_telemetry.dir/export.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fabric/CMakeFiles/mihn_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/mihn_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mihn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

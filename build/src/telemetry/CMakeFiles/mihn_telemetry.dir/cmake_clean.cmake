@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mihn_telemetry.dir/collector.cc.o"
+  "CMakeFiles/mihn_telemetry.dir/collector.cc.o.d"
+  "CMakeFiles/mihn_telemetry.dir/export.cc.o"
+  "CMakeFiles/mihn_telemetry.dir/export.cc.o.d"
+  "libmihn_telemetry.a"
+  "libmihn_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mihn_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/component.cc" "src/topology/CMakeFiles/mihn_topology.dir/component.cc.o" "gcc" "src/topology/CMakeFiles/mihn_topology.dir/component.cc.o.d"
+  "/root/repo/src/topology/link.cc" "src/topology/CMakeFiles/mihn_topology.dir/link.cc.o" "gcc" "src/topology/CMakeFiles/mihn_topology.dir/link.cc.o.d"
+  "/root/repo/src/topology/presets.cc" "src/topology/CMakeFiles/mihn_topology.dir/presets.cc.o" "gcc" "src/topology/CMakeFiles/mihn_topology.dir/presets.cc.o.d"
+  "/root/repo/src/topology/routing.cc" "src/topology/CMakeFiles/mihn_topology.dir/routing.cc.o" "gcc" "src/topology/CMakeFiles/mihn_topology.dir/routing.cc.o.d"
+  "/root/repo/src/topology/serialize.cc" "src/topology/CMakeFiles/mihn_topology.dir/serialize.cc.o" "gcc" "src/topology/CMakeFiles/mihn_topology.dir/serialize.cc.o.d"
+  "/root/repo/src/topology/topology.cc" "src/topology/CMakeFiles/mihn_topology.dir/topology.cc.o" "gcc" "src/topology/CMakeFiles/mihn_topology.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mihn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

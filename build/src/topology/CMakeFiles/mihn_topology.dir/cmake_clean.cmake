@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mihn_topology.dir/component.cc.o"
+  "CMakeFiles/mihn_topology.dir/component.cc.o.d"
+  "CMakeFiles/mihn_topology.dir/link.cc.o"
+  "CMakeFiles/mihn_topology.dir/link.cc.o.d"
+  "CMakeFiles/mihn_topology.dir/presets.cc.o"
+  "CMakeFiles/mihn_topology.dir/presets.cc.o.d"
+  "CMakeFiles/mihn_topology.dir/routing.cc.o"
+  "CMakeFiles/mihn_topology.dir/routing.cc.o.d"
+  "CMakeFiles/mihn_topology.dir/serialize.cc.o"
+  "CMakeFiles/mihn_topology.dir/serialize.cc.o.d"
+  "CMakeFiles/mihn_topology.dir/topology.cc.o"
+  "CMakeFiles/mihn_topology.dir/topology.cc.o.d"
+  "libmihn_topology.a"
+  "libmihn_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mihn_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/allreduce.cc" "src/workload/CMakeFiles/mihn_workload.dir/allreduce.cc.o" "gcc" "src/workload/CMakeFiles/mihn_workload.dir/allreduce.cc.o.d"
+  "/root/repo/src/workload/kv_client.cc" "src/workload/CMakeFiles/mihn_workload.dir/kv_client.cc.o" "gcc" "src/workload/CMakeFiles/mihn_workload.dir/kv_client.cc.o.d"
+  "/root/repo/src/workload/ml_trainer.cc" "src/workload/CMakeFiles/mihn_workload.dir/ml_trainer.cc.o" "gcc" "src/workload/CMakeFiles/mihn_workload.dir/ml_trainer.cc.o.d"
+  "/root/repo/src/workload/sources.cc" "src/workload/CMakeFiles/mihn_workload.dir/sources.cc.o" "gcc" "src/workload/CMakeFiles/mihn_workload.dir/sources.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/mihn_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/mihn_workload.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fabric/CMakeFiles/mihn_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/mihn_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mihn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

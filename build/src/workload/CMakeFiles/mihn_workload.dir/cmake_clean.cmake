@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mihn_workload.dir/allreduce.cc.o"
+  "CMakeFiles/mihn_workload.dir/allreduce.cc.o.d"
+  "CMakeFiles/mihn_workload.dir/kv_client.cc.o"
+  "CMakeFiles/mihn_workload.dir/kv_client.cc.o.d"
+  "CMakeFiles/mihn_workload.dir/ml_trainer.cc.o"
+  "CMakeFiles/mihn_workload.dir/ml_trainer.cc.o.d"
+  "CMakeFiles/mihn_workload.dir/sources.cc.o"
+  "CMakeFiles/mihn_workload.dir/sources.cc.o.d"
+  "CMakeFiles/mihn_workload.dir/trace.cc.o"
+  "CMakeFiles/mihn_workload.dir/trace.cc.o.d"
+  "libmihn_workload.a"
+  "libmihn_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mihn_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_test.dir/fabric/cache_model_test.cc.o"
+  "CMakeFiles/fabric_test.dir/fabric/cache_model_test.cc.o.d"
+  "CMakeFiles/fabric_test.dir/fabric/ddio_test.cc.o"
+  "CMakeFiles/fabric_test.dir/fabric/ddio_test.cc.o.d"
+  "CMakeFiles/fabric_test.dir/fabric/fabric_property_test.cc.o"
+  "CMakeFiles/fabric_test.dir/fabric/fabric_property_test.cc.o.d"
+  "CMakeFiles/fabric_test.dir/fabric/fabric_test.cc.o"
+  "CMakeFiles/fabric_test.dir/fabric/fabric_test.cc.o.d"
+  "CMakeFiles/fabric_test.dir/fabric/max_min_test.cc.o"
+  "CMakeFiles/fabric_test.dir/fabric/max_min_test.cc.o.d"
+  "fabric_test"
+  "fabric_test.pdb"
+  "fabric_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

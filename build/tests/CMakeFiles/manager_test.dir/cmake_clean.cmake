@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manager_test.dir/manager/intent_test.cc.o"
+  "CMakeFiles/manager_test.dir/manager/intent_test.cc.o.d"
+  "CMakeFiles/manager_test.dir/manager/manager_test.cc.o"
+  "CMakeFiles/manager_test.dir/manager/manager_test.cc.o.d"
+  "CMakeFiles/manager_test.dir/manager/migration_test.cc.o"
+  "CMakeFiles/manager_test.dir/manager/migration_test.cc.o.d"
+  "CMakeFiles/manager_test.dir/manager/scheduler_test.cc.o"
+  "CMakeFiles/manager_test.dir/manager/scheduler_test.cc.o.d"
+  "CMakeFiles/manager_test.dir/manager/slo_monitor_test.cc.o"
+  "CMakeFiles/manager_test.dir/manager/slo_monitor_test.cc.o.d"
+  "manager_test"
+  "manager_test.pdb"
+  "manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
