@@ -1,0 +1,201 @@
+// Solver scaling bench: MaxMinSolver (persistent workspace + active-set
+// pruning) vs SolveMaxMinReference (the pre-optimisation solver) across
+// flows ∈ {100, 1000, 10000} × links ∈ {32, 256}.
+//
+// Scenario is *churn*: a standing flow population where each solve follows a
+// single-flow demand mutation — the fabric's steady-state event pattern
+// (StartFlow / StopFlow / SetFlowLimit each trigger one solve). Emits
+// machine-readable BENCH_solver.json in the working directory so the perf
+// trajectory is tracked across PRs.
+
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/fabric/max_min.h"
+#include "src/sim/random.h"
+
+namespace mihn {
+namespace {
+
+using fabric::MaxMinFlow;
+using fabric::MaxMinSolver;
+using fabric::kUnlimitedDemand;
+
+struct Instance {
+  std::vector<MaxMinFlow> flows;
+  std::vector<double> caps;
+};
+
+// A multi-tenant-looking population: mostly capped flows with distinct
+// demands (distinct demand plateaus → many filling rounds, the worst case
+// for the reference's full rescans), a slice of elastic flows, paths of 1-4
+// links over the fabric.
+Instance MakeInstance(size_t num_flows, size_t num_links, uint64_t seed) {
+  sim::Rng rng(seed);
+  Instance inst;
+  inst.caps.resize(num_links);
+  for (auto& c : inst.caps) {
+    c = rng.Uniform(1e9, 100e9);
+  }
+  inst.flows.resize(num_flows);
+  for (auto& f : inst.flows) {
+    f.weight = rng.Uniform(0.5, 4.0);
+    f.demand = rng.Bernoulli(0.2) ? kUnlimitedDemand : rng.Uniform(1e6, 5e9);
+    const int nl = static_cast<int>(rng.UniformInt(1, 4));
+    for (int i = 0; i < nl; ++i) {
+      f.links.push_back(static_cast<int32_t>(
+          rng.UniformInt(0, static_cast<int64_t>(num_links) - 1)));
+    }
+  }
+  return inst;
+}
+
+// One churn step: mutate one flow's demand, then re-solve. Returns a
+// checksum so the work cannot be optimised away.
+double ChurnReference(Instance& inst, size_t iters, sim::Rng& rng) {
+  double checksum = 0.0;
+  for (size_t i = 0; i < iters; ++i) {
+    auto& f = inst.flows[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(inst.flows.size()) - 1))];
+    f.demand = rng.Bernoulli(0.2) ? kUnlimitedDemand : rng.Uniform(1e6, 5e9);
+    const std::vector<double> rates = fabric::SolveMaxMinReference(inst.flows, inst.caps);
+    checksum += rates[i % rates.size()];
+  }
+  return checksum;
+}
+
+double ChurnSolver(Instance& inst, size_t iters, sim::Rng& rng, MaxMinSolver& solver) {
+  double checksum = 0.0;
+  for (size_t i = 0; i < iters; ++i) {
+    auto& f = inst.flows[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(inst.flows.size()) - 1))];
+    f.demand = rng.Bernoulli(0.2) ? kUnlimitedDemand : rng.Uniform(1e6, 5e9);
+    // The batch API, as the fabric drives it: rebuild inputs (zero-copy,
+    // zero-alloc at steady state) and solve.
+    solver.Begin(inst.caps.size());
+    for (size_t l = 0; l < inst.caps.size(); ++l) {
+      solver.SetCapacity(static_cast<int32_t>(l), inst.caps[l]);
+    }
+    for (const MaxMinFlow& flow : inst.flows) {
+      solver.AddFlow(flow.weight, flow.demand, flow.links.data(), flow.links.size());
+    }
+    const std::vector<double>& rates = solver.Commit();
+    checksum += rates[i % rates.size()];
+  }
+  return checksum;
+}
+
+double NowSec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Result {
+  size_t flows, links, iters;
+  double ref_ns_per_solve;
+  double solver_ns_per_solve;
+  double speedup;
+  bool identical;
+};
+
+}  // namespace
+}  // namespace mihn
+
+int main() {
+  using namespace mihn;
+  bench::Banner("solver_scaling",
+                "Churn (1 mutation + 1 solve per step): MaxMinSolver vs reference");
+  bench::Table table({{"flows", 8},
+                      {"links", 8},
+                      {"iters", 8},
+                      {"ref us/solve", 16},
+                      {"new us/solve", 16},
+                      {"speedup", 10},
+                      {"identical", 10}});
+
+  std::vector<Result> results;
+  MaxMinSolver solver;
+  for (const size_t num_flows : {100u, 1000u, 10000u}) {
+    for (const size_t num_links : {32u, 256u}) {
+      const uint64_t seed = 1000003u * num_flows + num_links;
+      // Budget iterations so the reference side stays tractable at 10^4.
+      const size_t iters = num_flows >= 10000 ? 5 : (num_flows >= 1000 ? 40 : 400);
+
+      // Correctness gate first: identical rates on the starting instance.
+      Instance check = MakeInstance(num_flows, num_links, seed);
+      const std::vector<double> want = fabric::SolveMaxMinReference(check.flows, check.caps);
+      const std::vector<double>& got = solver.Solve(check.flows, check.caps);
+      bool identical = got.size() == want.size();
+      for (size_t i = 0; identical && i < want.size(); ++i) {
+        identical = got[i] == want[i];
+      }
+
+      Instance inst_ref = MakeInstance(num_flows, num_links, seed);
+      Instance inst_new = MakeInstance(num_flows, num_links, seed);
+      sim::Rng rng_ref(seed + 1), rng_new(seed + 1);
+
+      // Warm both paths once (page in, size the workspace).
+      {
+        sim::Rng warm(seed + 2);
+        Instance w = MakeInstance(num_flows, num_links, seed);
+        ChurnSolver(w, 1, warm, solver);
+      }
+
+      const double t0 = NowSec();
+      const double cs_ref = ChurnReference(inst_ref, iters, rng_ref);
+      const double t1 = NowSec();
+      const double cs_new = ChurnSolver(inst_new, iters, rng_new, solver);
+      const double t2 = NowSec();
+      // Same mutation stream on both sides -> identical checksums expected.
+      if (cs_ref != cs_new) {
+        identical = false;
+      }
+
+      Result r;
+      r.flows = num_flows;
+      r.links = num_links;
+      r.iters = iters;
+      r.ref_ns_per_solve = (t1 - t0) * 1e9 / static_cast<double>(iters);
+      r.solver_ns_per_solve = (t2 - t1) * 1e9 / static_cast<double>(iters);
+      r.speedup = r.ref_ns_per_solve / r.solver_ns_per_solve;
+      r.identical = identical;
+      results.push_back(r);
+
+      table.Row({std::to_string(num_flows), std::to_string(num_links), std::to_string(iters),
+                 bench::Fmt("%.1f", r.ref_ns_per_solve / 1e3),
+                 bench::Fmt("%.1f", r.solver_ns_per_solve / 1e3),
+                 bench::Fmt("%.1fx", r.speedup), identical ? "yes" : "NO"});
+    }
+  }
+
+  std::FILE* json = std::fopen("BENCH_solver.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"bench\": \"solver_scaling\",\n  \"scenario\": \"churn\",\n");
+    std::fprintf(json, "  \"unit\": \"ns_per_solve\",\n  \"results\": [\n");
+    for (size_t i = 0; i < results.size(); ++i) {
+      const Result& r = results[i];
+      std::fprintf(json,
+                   "    {\"flows\": %zu, \"links\": %zu, \"iters\": %zu, "
+                   "\"reference_ns\": %.0f, \"solver_ns\": %.0f, "
+                   "\"speedup\": %.2f, \"identical\": %s}%s\n",
+                   r.flows, r.links, r.iters, r.ref_ns_per_solve, r.solver_ns_per_solve,
+                   r.speedup, r.identical ? "true" : "false",
+                   i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("\nwrote BENCH_solver.json\n");
+  }
+
+  bool all_identical = true;
+  for (const Result& r : results) {
+    all_identical = all_identical && r.identical;
+  }
+  return all_identical ? 0 : 1;
+}

@@ -32,6 +32,14 @@ Fabric::Fabric(sim::Simulation& sim, const topology::Topology& topo, FabricConfi
     }
   }
   RefreshCapacities();
+  // Coalescing flush point: settle all same-timestamp mutations in one solve
+  // before the simulation clock moves on (see fabric.h).
+  pre_advance_hook_ = sim_.AddPreAdvanceHook([this] { FlushIfDirty(); });
+}
+
+Fabric::~Fabric() {
+  pre_advance_hook_.Cancel();
+  completion_event_.Cancel();
 }
 
 std::optional<topology::Path> Fabric::Route(topology::ComponentId src,
@@ -56,8 +64,11 @@ FlowId Fabric::StartFlow(FlowSpec spec) {
   state.link_indices.erase(std::unique(state.link_indices.begin(), state.link_indices.end()),
                            state.link_indices.end());
   state.spec = std::move(spec);
+  if (state.spec.ddio_write) {
+    ++ddio_flow_count_;
+  }
   flows_.emplace(id, std::move(state));
-  Recompute();
+  MarkDirty();
   return id;
 }
 
@@ -77,7 +88,8 @@ FlowId Fabric::StartTransfer(TransferSpec spec) {
   FlowState& state = flows_.at(id);
   state.bytes_remaining = static_cast<double>(spec.bytes);
   state.on_complete = std::move(spec.on_complete);
-  RescheduleCompletion();
+  // The completion event is scheduled by the deferred Recompute() (which
+  // already pends from StartFlow) once the transfer's rate is known.
   return id;
 }
 
@@ -87,7 +99,7 @@ void Fabric::StopFlow(FlowId id) {
   }
   AccrueCounters();
   RemoveFlowInternal(id);
-  Recompute();
+  MarkDirty();
 }
 
 void Fabric::SetFlowLimit(FlowId id, sim::Bandwidth limit) {
@@ -97,11 +109,11 @@ void Fabric::SetFlowLimit(FlowId id, sim::Bandwidth limit) {
   }
   it->second.limit = limit.bytes_per_sec() < 0 ? 0.0
                                                : std::min(limit.bytes_per_sec(), kUnlimitedDemand);
-  Recompute();
+  MarkDirty();
 }
 
 void Fabric::SetFlowLimitsBatch(const std::vector<std::pair<FlowId, sim::Bandwidth>>& limits) {
-  bool changed = false;
+  uint64_t applied = 0;
   for (const auto& [id, limit] : limits) {
     const auto it = flows_.find(id);
     if (it == flows_.end()) {
@@ -109,10 +121,10 @@ void Fabric::SetFlowLimitsBatch(const std::vector<std::pair<FlowId, sim::Bandwid
     }
     it->second.limit =
         limit.bytes_per_sec() < 0 ? 0.0 : std::min(limit.bytes_per_sec(), kUnlimitedDemand);
-    changed = true;
+    ++applied;
   }
-  if (changed) {
-    Recompute();
+  if (applied > 0) {
+    MarkDirty(applied);
   }
 }
 
@@ -122,7 +134,7 @@ void Fabric::SetFlowWeight(FlowId id, double weight) {
     return;
   }
   it->second.spec.weight = std::max(weight, 1e-9);
-  Recompute();
+  MarkDirty();
 }
 
 void Fabric::SetFlowDemand(FlowId id, sim::Bandwidth demand) {
@@ -132,10 +144,11 @@ void Fabric::SetFlowDemand(FlowId id, sim::Bandwidth demand) {
   }
   it->second.demand = std::clamp(demand.bytes_per_sec(), 0.0, kUnlimitedDemand);
   it->second.spec.demand = demand;
-  Recompute();
+  MarkDirty();
 }
 
 std::optional<FlowInfo> Fabric::GetFlowInfo(FlowId id) {
+  FlushIfDirty();
   AccrueCounters();
   const auto it = flows_.find(id);
   if (it == flows_.end()) {
@@ -159,11 +172,13 @@ std::optional<FlowInfo> Fabric::GetFlowInfo(FlowId id) {
 }
 
 sim::Bandwidth Fabric::FlowRate(FlowId id) const {
+  FlushIfDirty();
   const auto it = flows_.find(id);
   return it == flows_.end() ? sim::Bandwidth::Zero() : sim::Bandwidth::BytesPerSec(it->second.rate);
 }
 
 std::vector<FlowId> Fabric::ActiveFlows() const {
+  FlushIfDirty();  // Spill companions materialize at the solve.
   std::vector<FlowId> ids;
   ids.reserve(flows_.size());
   for (const auto& [id, f] : flows_) {
@@ -173,6 +188,7 @@ std::vector<FlowId> Fabric::ActiveFlows() const {
 }
 
 sim::TimeNs Fabric::SendPacket(PacketSpec spec) {
+  FlushIfDirty();
   sim::TimeNs latency = ProbePathLatency(spec.path);
   for (const topology::DirectedLink& hop : spec.path.hops) {
     DirectedLinkState& state = links_[static_cast<size_t>(DirectedIndex(hop))];
@@ -194,6 +210,7 @@ sim::TimeNs Fabric::SendPacket(PacketSpec spec) {
 }
 
 sim::TimeNs Fabric::ProbePathLatency(const topology::Path& path) const {
+  FlushIfDirty();
   sim::TimeNs total = sim::TimeNs::Zero();
   for (const topology::DirectedLink& hop : path.hops) {
     total += HopLatency(hop);
@@ -202,6 +219,7 @@ sim::TimeNs Fabric::ProbePathLatency(const topology::Path& path) const {
 }
 
 sim::TimeNs Fabric::HopLatency(topology::DirectedLink hop) const {
+  FlushIfDirty();
   const DirectedLinkState& state = links_[static_cast<size_t>(DirectedIndex(hop))];
   const double rho =
       state.effective_capacity > 0 ? state.rate / state.effective_capacity : 1.0;
@@ -210,12 +228,12 @@ sim::TimeNs Fabric::HopLatency(topology::DirectedLink hop) const {
 
 void Fabric::InjectLinkFault(topology::LinkId link, LinkFault fault) {
   faults_[link] = fault;
-  Recompute();
+  MarkDirty();
 }
 
 void Fabric::ClearLinkFault(topology::LinkId link) {
   if (faults_.erase(link) > 0) {
-    Recompute();
+    MarkDirty();
   }
 }
 
@@ -229,10 +247,11 @@ std::optional<LinkFault> Fabric::GetLinkFault(topology::LinkId link) const {
 
 void Fabric::SetConfig(FabricConfig config) {
   config_ = config;
-  Recompute();
+  MarkDirty();
 }
 
 LinkSnapshot Fabric::Snapshot(topology::DirectedLink dlink) {
+  FlushIfDirty();
   AccrueCounters();
   const DirectedLinkState& state = links_[static_cast<size_t>(DirectedIndex(dlink))];
   LinkSnapshot snap;
@@ -251,6 +270,7 @@ LinkSnapshot Fabric::Snapshot(topology::DirectedLink dlink) {
 }
 
 std::vector<LinkSnapshot> Fabric::SnapshotAll() {
+  FlushIfDirty();
   AccrueCounters();
   std::vector<LinkSnapshot> all;
   all.reserve(links_.size());
@@ -263,16 +283,19 @@ std::vector<LinkSnapshot> Fabric::SnapshotAll() {
 }
 
 sim::Bandwidth Fabric::EffectiveCapacity(topology::DirectedLink dlink) const {
+  FlushIfDirty();  // Config / fault changes apply at the solve.
   return sim::Bandwidth::BytesPerSec(
       links_[static_cast<size_t>(DirectedIndex(dlink))].effective_capacity);
 }
 
 double Fabric::Utilization(topology::DirectedLink dlink) const {
+  FlushIfDirty();
   const DirectedLinkState& state = links_[static_cast<size_t>(DirectedIndex(dlink))];
   return state.effective_capacity > 0 ? state.rate / state.effective_capacity : 0.0;
 }
 
 SocketCacheStats Fabric::CacheStats(topology::ComponentId socket) const {
+  FlushIfDirty();
   const auto it = cache_stats_.find(socket);
   if (it == cache_stats_.end()) {
     SocketCacheStats stats;
@@ -360,7 +383,7 @@ topology::ComponentId Fabric::PickSpillDimm(topology::ComponentId socket, FlowId
   return it->second[static_cast<size_t>(flow) % it->second.size()];
 }
 
-void Fabric::UpdateCacheCoupling(const std::unordered_map<FlowId, double>& rates) {
+void Fabric::UpdateCacheCoupling() {
   // Group DDIO-eligible parents by destination socket.
   std::map<topology::ComponentId, std::vector<FlowId>> by_socket;
   for (auto& [id, f] : flows_) {
@@ -378,8 +401,7 @@ void Fabric::UpdateCacheCoupling(const std::unordered_map<FlowId, double>& rates
   for (const auto& [socket, ids] : by_socket) {
     double io_rate = 0.0;
     for (const FlowId id : ids) {
-      const auto it = rates.find(id);
-      io_rate += it == rates.end() ? 0.0 : it->second;
+      io_rate += flows_.at(id).solved_rate;
     }
     const double hit =
         config_.ddio_enabled
@@ -397,8 +419,7 @@ void Fabric::UpdateCacheCoupling(const std::unordered_map<FlowId, double>& rates
     for (const FlowId id : ids) {
       FlowState& f = flows_.at(id);
       f.miss_fraction = miss;
-      const auto rit = rates.find(id);
-      const double desired_spill = (rit == rates.end() ? 0.0 : rit->second) * miss;
+      const double desired_spill = f.solved_rate * miss;
       if (desired_spill > kSpillEpsBps) {
         if (f.spill_child == kInvalidFlow) {
           const topology::ComponentId dimm = PickSpillDimm(socket, id);
@@ -438,70 +459,87 @@ void Fabric::UpdateCacheCoupling(const std::unordered_map<FlowId, double>& rates
   }
 }
 
+void Fabric::MarkDirty(uint64_t count) {
+  mutation_count_ += count;
+  dirty_ = true;
+}
+
+void Fabric::FlushIfDirty() const {
+  if (dirty_ && !in_recompute_) {
+    // Logically const: the solve only materializes state that mutators
+    // already committed to (rates, spill coupling, the completion schedule).
+    const_cast<Fabric*>(this)->Recompute();
+  }
+}
+
+void Fabric::SolveRates() {
+  solver_.Begin(links_.size());
+  for (size_t i = 0; i < links_.size(); ++i) {
+    solver_.SetCapacity(static_cast<int32_t>(i), links_[i].effective_capacity);
+  }
+  // flows_ is an ordered map: AddFlow order (== rate vector order) is the
+  // deterministic id order. link_indices are pre-sorted and deduped, so the
+  // solver copies them without re-sorting; no allocation at steady state.
+  for (const auto& [id, f] : flows_) {
+    solver_.AddFlow(f.spec.weight, std::min({f.demand, f.limit, f.cache_cap}),
+                    f.link_indices.data(), f.link_indices.size());
+  }
+  const std::vector<double>& solved = solver_.Commit();
+  size_t i = 0;
+  for (auto& [id, f] : flows_) {
+    f.solved_rate = solved[i++];
+  }
+}
+
 void Fabric::Recompute() {
   if (in_recompute_) {
     return;
   }
   in_recompute_ = true;
+  dirty_ = false;
   AccrueCounters();
   RefreshCapacities();
 
-  auto solve = [this]() {
-    std::vector<MaxMinFlow> input;
-    std::vector<FlowId> order;
-    input.reserve(flows_.size());
-    order.reserve(flows_.size());
-    for (const auto& [id, f] : flows_) {
-      MaxMinFlow mm;
-      mm.weight = f.spec.weight;
-      mm.demand = std::min({f.demand, f.limit, f.cache_cap});
-      mm.links = f.link_indices;
-      input.push_back(std::move(mm));
-      order.push_back(id);
+  // Round 1 only matters for DDIO-eligible flows (it sets desired spills):
+  // skip it — and the cache-cap bookkeeping — when none are active, the
+  // common case for pure fabric workloads.
+  const bool ddio_active = ddio_flow_count_ > 0;
+  if (ddio_active) {
+    // Round 1: potential rates with the cache throttle lifted. These set
+    // each DDIO flow's desired spill (what it *would* push to memory).
+    for (auto& [id, f] : flows_) {
+      f.cache_cap = kUnlimitedDemand;
     }
-    std::vector<double> caps(links_.size());
-    for (size_t i = 0; i < links_.size(); ++i) {
-      caps[i] = links_[i].effective_capacity;
-    }
-    const std::vector<double> solved = SolveMaxMin(input, caps);
-    std::unordered_map<FlowId, double> rates;
-    rates.reserve(order.size());
-    for (size_t i = 0; i < order.size(); ++i) {
-      rates[order[i]] = solved[i];
-    }
-    return rates;
-  };
-
-  // Round 1: potential rates with the cache throttle lifted. These set each
-  // DDIO flow's desired spill (what it *would* push to memory).
-  for (auto& [id, f] : flows_) {
-    f.cache_cap = kUnlimitedDemand;
+    SolveRates();
+    UpdateCacheCoupling();
+  } else if (!cache_stats_.empty()) {
+    cache_stats_.clear();  // The last DDIO flow just left.
   }
-  const auto potential = solve();
-  UpdateCacheCoupling(potential);
 
   // Round 2: spill companions active at their desired demand.
-  auto rates = solve();
+  SolveRates();
 
-  // If memory cannot absorb a flow's spill, the flow itself is throttled to
-  // its miss-drain rate (writes stall behind evictions). One more solve
-  // with those caps; computing caps from round-2 child rates (not a full
-  // fixed point) keeps the result stable and deterministic.
-  bool any_cap = false;
-  for (auto& [id, f] : flows_) {
-    if (f.spill_child == kInvalidFlow || f.miss_fraction <= 1e-9) {
-      continue;
+  if (ddio_active) {
+    // If memory cannot absorb a flow's spill, the flow itself is throttled
+    // to its miss-drain rate (writes stall behind evictions). One more solve
+    // with those caps; computing caps from round-2 child rates (not a full
+    // fixed point) keeps the result stable and deterministic. Skipped when
+    // no spill child was capped.
+    bool any_cap = false;
+    for (auto& [id, f] : flows_) {
+      if (f.spill_child == kInvalidFlow || f.miss_fraction <= 1e-9) {
+        continue;
+      }
+      const FlowState& child = flows_.at(f.spill_child);
+      const double achieved = child.solved_rate;
+      if (achieved < child.demand * (1.0 - 1e-6)) {
+        f.cache_cap = achieved / f.miss_fraction;
+        any_cap = true;
+      }
     }
-    const FlowState& child = flows_.at(f.spill_child);
-    const auto crate = rates.find(f.spill_child);
-    const double achieved = crate == rates.end() ? 0.0 : crate->second;
-    if (achieved < child.demand * (1.0 - 1e-6)) {
-      f.cache_cap = achieved / f.miss_fraction;
-      any_cap = true;
+    if (any_cap) {
+      SolveRates();
     }
-  }
-  if (any_cap) {
-    rates = solve();
   }
 
   // Commit rates and rebuild per-link aggregates.
@@ -511,8 +549,7 @@ void Fabric::Recompute() {
     state.rate_by_class.fill(0.0);
   }
   for (auto& [id, f] : flows_) {
-    const auto it = rates.find(id);
-    f.rate = it == rates.end() ? 0.0 : it->second;
+    f.rate = f.solved_rate;
     for (const int32_t li : f.link_indices) {
       DirectedLinkState& state = links_[static_cast<size_t>(li)];
       state.rate += f.rate;
@@ -551,6 +588,10 @@ void Fabric::RescheduleCompletion() {
 }
 
 void Fabric::OnCompletionEvent() {
+  // Mutations from earlier events at this same timestamp may still be
+  // pending (hooks only fire between timestamps): settle them so the done
+  // check and delivery latencies see current rates.
+  FlushIfDirty();
   AccrueCounters();
   std::vector<FlowId> done;
   for (const auto& [id, f] : flows_) {
@@ -572,7 +613,13 @@ void Fabric::OnCompletionEvent() {
     }
     RemoveFlowInternal(id);
   }
-  Recompute();
+  if (!done.empty()) {
+    MarkDirty(done.size());
+  } else {
+    // Spurious wake (rates changed since this event was armed): re-arm from
+    // the current — already settled — rates.
+    RescheduleCompletion();
+  }
 }
 
 void Fabric::RemoveFlowInternal(FlowId id) {
@@ -582,6 +629,9 @@ void Fabric::RemoveFlowInternal(FlowId id) {
   }
   const FlowId child = it->second.spill_child;
   const FlowId parent = it->second.spill_parent;
+  if (it->second.spec.ddio_write && ddio_flow_count_ > 0) {
+    --ddio_flow_count_;
+  }
   flows_.erase(it);
   if (child != kInvalidFlow) {
     RemoveFlowInternal(child);

@@ -59,6 +59,7 @@ class Fabric {
  public:
   // |topo| must outlive the Fabric and pass Validate().
   Fabric(sim::Simulation& sim, const topology::Topology& topo, FabricConfig config = {});
+  ~Fabric();
 
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
@@ -134,8 +135,21 @@ class Fabric {
   const topology::Topology& topo() const { return topo_; }
   sim::Simulation& simulation() { return sim_; }
 
+  // Rate mutations are *coalesced*: a mutator (StartFlow, StopFlow,
+  // SetFlowLimit/Weight/Demand, faults, SetConfig) only marks the fabric
+  // dirty, and the max-min solve runs lazily — on the first rate/latency/
+  // snapshot read, or at the end of the current simulation timestamp (a
+  // pre-advance hook fires before virtual time moves on, so rates are always
+  // settled before any later-time event or byte accrual observes them). A
+  // same-timestamp burst of N mutations therefore pays for one solve.
+  //
   // Number of max-min recomputations performed (engine health metric).
+  // Reading it does NOT force a pending solve.
   uint64_t recompute_count() const { return recompute_count_; }
+
+  // Number of rate-affecting mutations accepted. mutation_count() /
+  // recompute_count() is the observable coalescing ratio.
+  uint64_t mutation_count() const { return mutation_count_; }
 
  private:
   struct FlowState {
@@ -153,6 +167,7 @@ class Fabric {
     FlowId spill_child = kInvalidFlow;
     FlowId spill_parent = kInvalidFlow;
     std::vector<int32_t> link_indices;  // DirectedIndex per hop (deduped).
+    double solved_rate = 0.0;           // Scratch: last SolveRates() output.
   };
 
   struct DirectedLinkState {
@@ -171,15 +186,29 @@ class Fabric {
   // per-link and per-flow counters. Must be called before any rate change.
   void AccrueCounters();
 
+  // Records a rate-affecting mutation (|count| of them) and defers the solve
+  // to the next FlushIfDirty() point.
+  void MarkDirty(uint64_t count = 1);
+
+  // Runs the deferred Recompute() if any mutation is pending. const because
+  // every read accessor is a flush point; the solve only touches state that
+  // is logically derived (rates, cache coupling, completion schedule).
+  void FlushIfDirty() const;
+
   // Re-solves max-min rates (with the cache fixed point) and reschedules
   // the next completion event.
   void Recompute();
 
+  // One max-min pass over all flows through the persistent solver
+  // workspace; leaves each flow's result in FlowState::solved_rate.
+  void SolveRates();
+
   // Applies config + faults to every directed link's effective capacity.
   void RefreshCapacities();
 
-  // Ensures/updates spill companions for DDIO flows. Part of Recompute.
-  void UpdateCacheCoupling(const std::unordered_map<FlowId, double>& rates);
+  // Ensures/updates spill companions for DDIO flows, reading each parent's
+  // FlowState::solved_rate (round-1 potential rates). Part of Recompute.
+  void UpdateCacheCoupling();
 
   void RescheduleCompletion();
   void OnCompletionEvent();
@@ -204,7 +233,12 @@ class Fabric {
   std::unordered_map<topology::LinkId, LinkFault> faults_;
   std::map<topology::ComponentId, SocketCacheStats> cache_stats_;
   std::unordered_map<topology::ComponentId, std::vector<topology::ComponentId>> socket_dimms_;
+  MaxMinSolver solver_;  // Persistent workspace: no allocation at steady state.
+  sim::EventHandle pre_advance_hook_;
   uint64_t recompute_count_ = 0;
+  uint64_t mutation_count_ = 0;
+  size_t ddio_flow_count_ = 0;  // Active flows with spec.ddio_write.
+  bool dirty_ = false;
   bool in_recompute_ = false;
 };
 

@@ -2,139 +2,325 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <limits>
 
 namespace mihn::fabric {
+namespace {
 
-std::vector<double> SolveMaxMin(const std::vector<MaxMinFlow>& flows,
-                                const std::vector<double>& capacities) {
-  const size_t nf = flows.size();
-  const size_t nl = capacities.size();
-  std::vector<double> rates(nf, 0.0);
+constexpr double kEps = 1e-9;
+constexpr double kMinWeight = 1e-12;
+// Multiplicative slack when harvesting at-demand candidates from the fix
+// heap. The heap key (demand - demand_tol)/weight is computed with two
+// roundings (~2 ulp ≈ 4.4e-16 relative), so any flow the reference would fix
+// at water level L has key <= L * (1 + kFixSlack). Over-harvested flows fail
+// the exact re-check and are pushed back, so the slack only costs work,
+// never correctness.
+constexpr double kFixSlack = 1e-12;
+
+using HeapEntry = std::pair<double, int32_t>;
+
+// Min-heap helpers over (key, flow) with deterministic tie-breaking on the
+// flow index (irrelevant to results — fixing uses sorted candidate order —
+// but keeps traversal order reproducible for debugging).
+inline void HeapPush(std::vector<HeapEntry>& heap, HeapEntry entry) {
+  heap.push_back(entry);
+  std::push_heap(heap.begin(), heap.end(), std::greater<>());
+}
+
+inline HeapEntry HeapPop(std::vector<HeapEntry>& heap) {
+  std::pop_heap(heap.begin(), heap.end(), std::greater<>());
+  const HeapEntry top = heap.back();
+  heap.pop_back();
+  return top;
+}
+
+}  // namespace
+
+void MaxMinSolver::Begin(size_t num_links) {
+  num_links_ = num_links;
+  num_flows_ = 0;
+  capacities_.assign(num_links, 0.0);
+  flow_weight_.clear();
+  flow_demand_.clear();
+  flow_link_off_.clear();
+  flow_link_off_.push_back(0);
+  flow_link_ids_.clear();
+}
+
+void MaxMinSolver::SetCapacity(int32_t link, double capacity) {
+  if (link >= 0 && static_cast<size_t>(link) < num_links_) {
+    capacities_[static_cast<size_t>(link)] = capacity;
+  }
+}
+
+int32_t MaxMinSolver::AddFlow(double weight, double demand, const int32_t* links, size_t count) {
+  const int32_t index = static_cast<int32_t>(num_flows_++);
+  flow_weight_.push_back(std::max(weight, kMinWeight));
+  flow_demand_.push_back(demand);
+  const size_t begin = flow_link_ids_.size();
+  flow_link_ids_.insert(flow_link_ids_.end(), links, links + count);
+  const auto first = flow_link_ids_.begin() + static_cast<ptrdiff_t>(begin);
+  if (!std::is_sorted(first, flow_link_ids_.end())) {
+    std::sort(first, flow_link_ids_.end());
+  }
+  flow_link_ids_.erase(std::unique(first, flow_link_ids_.end()), flow_link_ids_.end());
+  flow_link_off_.push_back(static_cast<int32_t>(flow_link_ids_.size()));
+  return index;
+}
+
+void MaxMinSolver::RemoveActiveLink(int32_t link) {
+  const int32_t pos = active_pos_[static_cast<size_t>(link)];
+  if (pos < 0) {
+    return;
+  }
+  const int32_t last = active_links_.back();
+  active_links_[static_cast<size_t>(pos)] = last;
+  active_pos_[static_cast<size_t>(last)] = pos;
+  active_links_.pop_back();
+  active_pos_[static_cast<size_t>(link)] = -1;
+}
+
+void MaxMinSolver::FixFlow(int32_t flow, double rate) {
+  const size_t f = static_cast<size_t>(flow);
+  rates_[f] = rate;
+  fixed_[f] = 1;
+  --unfixed_;
+  ++fixed_this_round_;
+  const double w = flow_weight_[f];
+  for (int32_t i = flow_link_off_[f]; i < flow_link_off_[f + 1]; ++i) {
+    const size_t l = static_cast<size_t>(flow_link_ids_[static_cast<size_t>(i)]);
+    link_weight_[l] -= w;
+    if (link_weight_[l] < 0.0) {
+      link_weight_[l] = 0.0;
+    }
+    // Only a link whose weight drained to *exactly* zero can never again
+    // affect residuals (delta * 0 == 0); links left holding rounding dust
+    // must keep getting charged to match the reference bit-for-bit.
+    if (link_weight_[l] == 0.0) {
+      RemoveActiveLink(static_cast<int32_t>(l));
+    }
+  }
+}
+
+const std::vector<double>& MaxMinSolver::Commit() {
+  const size_t nf = num_flows_;
+  const size_t nl = num_links_;
+  last_rounds_ = 0;
+  rates_.assign(nf, 0.0);
   if (nf == 0) {
-    return rates;
+    return rates_;
   }
 
-  // Deduplicated link lists per flow (a flow crossing a link "twice" still
-  // only consumes its rate once per direction-resource).
-  std::vector<std::vector<int32_t>> flow_links(nf);
-  for (size_t f = 0; f < nf; ++f) {
-    flow_links[f] = flows[f].links;
-    auto& ls = flow_links[f];
-    std::sort(ls.begin(), ls.end());
-    ls.erase(std::unique(ls.begin(), ls.end()), ls.end());
-  }
+  residual_ = capacities_;
+  link_weight_.assign(nl, 0.0);
+  fixed_.assign(nf, 0);
+  unfixed_ = 0;
 
-  std::vector<double> residual = capacities;
-  std::vector<double> link_weight(nl, 0.0);  // Sum of weights of unfixed flows per link.
-  std::vector<bool> fixed(nf, false);
-  size_t unfixed = 0;
-
+  // Dead-flow detection and per-link weight accumulation, in flow order (the
+  // accumulation order matters for bit-identity with the reference).
   for (size_t f = 0; f < nf; ++f) {
-    const double w = std::max(flows[f].weight, 1e-12);
-    bool dead = flows[f].demand <= 0.0;
-    for (const int32_t l : flow_links[f]) {
-      if (l < 0 || static_cast<size_t>(l) >= nl || capacities[static_cast<size_t>(l)] <= 0.0) {
+    const double w = flow_weight_[f];
+    bool dead = flow_demand_[f] <= 0.0;
+    for (int32_t i = flow_link_off_[f]; i < flow_link_off_[f + 1]; ++i) {
+      const int32_t l = flow_link_ids_[static_cast<size_t>(i)];
+      if (l < 0 || static_cast<size_t>(l) >= nl || capacities_[static_cast<size_t>(l)] <= 0.0) {
         dead = true;
       }
     }
     if (dead) {
-      fixed[f] = true;  // Rate stays 0.
+      fixed_[f] = 1;  // Rate stays 0.
       continue;
     }
-    ++unfixed;
-    for (const int32_t l : flow_links[f]) {
-      link_weight[static_cast<size_t>(l)] += w;
+    ++unfixed_;
+    for (int32_t i = flow_link_off_[f]; i < flow_link_off_[f + 1]; ++i) {
+      link_weight_[static_cast<size_t>(flow_link_ids_[static_cast<size_t>(i)])] += w;
     }
+  }
+
+  // Link -> member flows CSR (live flows only), by counting sort.
+  link_flow_off_.assign(nl + 1, 0);
+  for (size_t f = 0; f < nf; ++f) {
+    if (fixed_[f]) {
+      continue;
+    }
+    for (int32_t i = flow_link_off_[f]; i < flow_link_off_[f + 1]; ++i) {
+      ++link_flow_off_[static_cast<size_t>(flow_link_ids_[static_cast<size_t>(i)]) + 1];
+    }
+  }
+  for (size_t l = 0; l < nl; ++l) {
+    link_flow_off_[l + 1] += link_flow_off_[l];
+  }
+  link_flow_ids_.resize(static_cast<size_t>(link_flow_off_[nl]));
+  // Per-link fill cursors borrow the candidates_ scratch vector (it is not
+  // needed until the filling rounds below).
+  std::vector<int32_t>& cursor = candidates_;
+  cursor.assign(link_flow_off_.begin(), link_flow_off_.end() - 1);
+  for (size_t f = 0; f < nf; ++f) {
+    if (fixed_[f]) {
+      continue;
+    }
+    for (int32_t i = flow_link_off_[f]; i < flow_link_off_[f + 1]; ++i) {
+      const size_t l = static_cast<size_t>(flow_link_ids_[static_cast<size_t>(i)]);
+      link_flow_ids_[static_cast<size_t>(cursor[l]++)] = static_cast<int32_t>(f);
+    }
+  }
+
+  // Active link set: every link carrying at least one live flow.
+  active_pos_.assign(nl, -1);
+  active_links_.clear();
+  for (size_t l = 0; l < nl; ++l) {
+    if (link_weight_[l] > 0.0) {
+      active_pos_[l] = static_cast<int32_t>(active_links_.size());
+      active_links_.push_back(static_cast<int32_t>(l));
+    }
+  }
+
+  // Demand heaps over live flows.
+  heap_level_.clear();
+  heap_fix_.clear();
+  for (size_t f = 0; f < nf; ++f) {
+    if (fixed_[f]) {
+      continue;
+    }
+    const double w = flow_weight_[f];
+    const double demand_tol = std::max(kEps, flow_demand_[f] * 1e-9);
+    heap_level_.push_back({flow_demand_[f] / w, static_cast<int32_t>(f)});
+    heap_fix_.push_back({(flow_demand_[f] - demand_tol) / w, static_cast<int32_t>(f)});
+  }
+  std::make_heap(heap_level_.begin(), heap_level_.end(), std::greater<>());
+  std::make_heap(heap_fix_.begin(), heap_fix_.end(), std::greater<>());
+
+  if (candidate_epoch_.size() < nf) {
+    candidate_epoch_.assign(nf, 0);
+    epoch_ = 0;
   }
 
   // Progressive filling: raise the common weight-normalized water level
   // until a link saturates or a flow hits its demand; fix those flows and
-  // repeat on the residual network.
-  double level = 0.0;  // Current weight-normalized rate of all unfixed flows.
-  while (unfixed > 0) {
-    // Next link saturation level.
+  // repeat on the residual network. Identical arithmetic to the reference —
+  // only the scan sets shrink.
+  double level = 0.0;
+  while (unfixed_ > 0) {
+    ++last_rounds_;
+    // Next link saturation level: min over links still carrying weight. The
+    // active set contains every link with weight > 0, so filtering at
+    // > kMinWeight scans exactly the links the reference considers.
     double next_level = std::numeric_limits<double>::infinity();
-    for (size_t l = 0; l < nl; ++l) {
-      if (link_weight[l] > 1e-12) {
-        next_level = std::min(next_level, level + residual[l] / link_weight[l]);
+    for (const int32_t l : active_links_) {
+      const size_t li = static_cast<size_t>(l);
+      if (link_weight_[li] > kMinWeight) {
+        next_level = std::min(next_level, level + residual_[li] / link_weight_[li]);
       }
     }
-    // Next demand-ceiling level.
-    for (size_t f = 0; f < nf; ++f) {
-      if (!fixed[f]) {
-        const double w = std::max(flows[f].weight, 1e-12);
-        next_level = std::min(next_level, flows[f].demand / w);
-      }
+    // Next demand-ceiling level: lazy-deleting heap min over unfixed flows,
+    // keyed by the same demand/weight expression the reference scans.
+    while (!heap_level_.empty() && fixed_[static_cast<size_t>(heap_level_.front().second)]) {
+      HeapPop(heap_level_);
+    }
+    if (!heap_level_.empty()) {
+      next_level = std::min(next_level, heap_level_.front().first);
     }
     if (!std::isfinite(next_level)) {
-      break;  // Flows crossing no (valid) links with infinite demand: leave at 0? No:
+      // Remaining flows cross no weighted link and have infinite demand —
+      // the network does not constrain them; the loop after this one hands
+      // each its demand.
+      break;
     }
 
-    // Advance the water level: charge every link for the rate growth.
+    // Advance the water level: charge every weighted link for the growth.
+    // Links outside the active set have weight exactly 0 and would be
+    // charged delta * 0 == 0 — skipping them is exact.
     const double delta = next_level - level;
-    for (size_t l = 0; l < nl; ++l) {
-      residual[l] -= delta * link_weight[l];
-      if (residual[l] < 0.0) {
-        residual[l] = 0.0;  // Floating-point dust.
+    for (const int32_t l : active_links_) {
+      const size_t li = static_cast<size_t>(l);
+      residual_[li] -= delta * link_weight_[li];
+      if (residual_[li] < 0.0) {
+        residual_[li] = 0.0;  // Floating-point dust.
       }
     }
     level = next_level;
 
-    // Fix flows that reached their demand or sit on a saturated link. The
-    // demand comparison must use a tolerance *relative* to the demand:
-    // level = demand/w then level*w can round to demand*(1 ± 1e-16), and an
-    // absolute epsilon would leave the flow unfixable with delta == 0 — an
-    // infinite loop.
-    constexpr double kEps = 1e-9;
-    size_t fixed_this_round = 0;
-    auto fix_flow = [&](size_t f, double rate) {
-      rates[f] = rate;
-      fixed[f] = true;
-      --unfixed;
-      ++fixed_this_round;
-      const double w = std::max(flows[f].weight, 1e-12);
-      for (const int32_t l : flow_links[f]) {
-        link_weight[static_cast<size_t>(l)] -= w;
-        if (link_weight[static_cast<size_t>(l)] < 0.0) {
-          link_weight[static_cast<size_t>(l)] = 0.0;
-        }
-      }
-    };
-    for (size_t f = 0; f < nf; ++f) {
-      if (fixed[f]) {
+    // Gather this round's candidates instead of rescanning every flow:
+    //  (a) flows whose demand ceiling is within slack of the level,
+    //  (b) live flows on any link that just saturated.
+    // Every flow the reference would fix this round is in (a) ∪ (b); each
+    // candidate is then re-tested with the reference's exact conditions.
+    ++epoch_;
+    candidates_.clear();
+    const double harvest = level * (1.0 + kFixSlack);
+    while (!heap_fix_.empty()) {
+      const HeapEntry top = heap_fix_.front();
+      if (fixed_[static_cast<size_t>(top.second)]) {
+        HeapPop(heap_fix_);
         continue;
       }
-      const double w = std::max(flows[f].weight, 1e-12);
-      const double demand_tol = std::max(kEps, flows[f].demand * 1e-9);
-      const bool at_demand = level * w >= flows[f].demand - demand_tol;
+      if (top.first > harvest) {
+        break;
+      }
+      HeapPop(heap_fix_);
+      if (candidate_epoch_[static_cast<size_t>(top.second)] != epoch_) {
+        candidate_epoch_[static_cast<size_t>(top.second)] = epoch_;
+        candidates_.push_back(top.second);
+      }
+    }
+    for (const int32_t l : active_links_) {
+      const size_t li = static_cast<size_t>(l);
+      if (residual_[li] <= capacities_[li] * 1e-12 + kEps) {
+        for (int32_t i = link_flow_off_[li]; i < link_flow_off_[li + 1]; ++i) {
+          const int32_t f = link_flow_ids_[static_cast<size_t>(i)];
+          if (!fixed_[static_cast<size_t>(f)] &&
+              candidate_epoch_[static_cast<size_t>(f)] != epoch_) {
+            candidate_epoch_[static_cast<size_t>(f)] = epoch_;
+            candidates_.push_back(f);
+          }
+        }
+      }
+    }
+    std::sort(candidates_.begin(), candidates_.end());
+
+    // Fix candidates in ascending flow order — the reference's scan order —
+    // under its exact conditions. Residuals and the level are frozen during
+    // this pass, so up-front condition evaluation matches the reference's
+    // interleaved one.
+    fixed_this_round_ = 0;
+    for (const int32_t fi : candidates_) {
+      const size_t f = static_cast<size_t>(fi);
+      const double w = flow_weight_[f];
+      const double demand_tol = std::max(kEps, flow_demand_[f] * 1e-9);
+      const bool at_demand = level * w >= flow_demand_[f] - demand_tol;
       bool bottlenecked = false;
-      for (const int32_t l : flow_links[f]) {
-        if (residual[static_cast<size_t>(l)] <= capacities[static_cast<size_t>(l)] * 1e-12 + kEps) {
+      for (int32_t i = flow_link_off_[f]; i < flow_link_off_[f + 1]; ++i) {
+        const size_t l = static_cast<size_t>(flow_link_ids_[static_cast<size_t>(i)]);
+        if (residual_[l] <= capacities_[l] * 1e-12 + kEps) {
           bottlenecked = true;
           break;
         }
       }
       if (at_demand || bottlenecked) {
-        fix_flow(f, std::min(level * w, flows[f].demand));
+        FixFlow(fi, std::min(level * w, flow_demand_[f]));
+      } else {
+        // Over-harvested from the fix heap; push back for a later round.
+        HeapPush(heap_fix_, {(flow_demand_[f] - demand_tol) / w, fi});
       }
     }
+
     // Termination guard: progressive filling must fix at least one flow per
     // round; if floating-point dust ever prevents that, force-fix the flow
-    // whose constraint set the water level.
-    if (fixed_this_round == 0) {
+    // whose constraint set the water level (full scan — this path is cold).
+    if (fixed_this_round_ == 0) {
       size_t argmin = nf;
       double best = std::numeric_limits<double>::infinity();
       for (size_t f = 0; f < nf; ++f) {
-        if (fixed[f]) {
+        if (fixed_[f]) {
           continue;
         }
-        const double w = std::max(flows[f].weight, 1e-12);
-        double bound = flows[f].demand / w;
-        for (const int32_t l : flow_links[f]) {
-          if (link_weight[static_cast<size_t>(l)] > 1e-12) {
-            bound = std::min(bound, level + residual[static_cast<size_t>(l)] /
-                                                link_weight[static_cast<size_t>(l)]);
+        const double w = flow_weight_[f];
+        double bound = flow_demand_[f] / w;
+        for (int32_t i = flow_link_off_[f]; i < flow_link_off_[f + 1]; ++i) {
+          const size_t l = static_cast<size_t>(flow_link_ids_[static_cast<size_t>(i)]);
+          if (link_weight_[l] > kMinWeight) {
+            bound = std::min(bound, level + residual_[l] / link_weight_[l]);
           }
         }
         if (bound < best) {
@@ -145,8 +331,8 @@ std::vector<double> SolveMaxMin(const std::vector<MaxMinFlow>& flows,
       if (argmin == nf) {
         break;
       }
-      const double w = std::max(flows[argmin].weight, 1e-12);
-      fix_flow(argmin, std::min(level * w, flows[argmin].demand));
+      FixFlow(static_cast<int32_t>(argmin), std::min(level * flow_weight_[argmin],
+                                                     flow_demand_[argmin]));
     }
   }
 
@@ -154,11 +340,29 @@ std::vector<double> SolveMaxMin(const std::vector<MaxMinFlow>& flows,
   // it is not constrained by this network — give it its demand (callers do
   // not construct such flows in practice, but stay total).
   for (size_t f = 0; f < nf; ++f) {
-    if (!fixed[f]) {
-      rates[f] = flows[f].demand;
+    if (!fixed_[f]) {
+      rates_[f] = flow_demand_[f];
     }
   }
-  return rates;
+  return rates_;
+}
+
+const std::vector<double>& MaxMinSolver::Solve(const std::vector<MaxMinFlow>& flows,
+                                               const std::vector<double>& capacities) {
+  Begin(capacities.size());
+  for (size_t l = 0; l < capacities.size(); ++l) {
+    capacities_[l] = capacities[l];
+  }
+  for (const MaxMinFlow& f : flows) {
+    AddFlow(f.weight, f.demand, f.links.data(), f.links.size());
+  }
+  return Commit();
+}
+
+std::vector<double> SolveMaxMin(const std::vector<MaxMinFlow>& flows,
+                                const std::vector<double>& capacities) {
+  MaxMinSolver solver;
+  return solver.Solve(flows, capacities);
 }
 
 }  // namespace mihn::fabric

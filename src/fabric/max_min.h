@@ -3,12 +3,27 @@
 // This is the mathematical core of the fluid fabric model: given flows that
 // each traverse a set of capacitated resources, assign rates so that the
 // allocation is weighted max-min fair subject to per-flow demand ceilings.
-// Pure function of its inputs — no simulator types — so the fairness
+// Pure functions of their inputs — no simulator types — so the fairness
 // invariants are directly property-testable.
+//
+// Two implementations live here:
+//
+//  * MaxMinSolver — the production engine. A reusable workspace object that
+//    owns all scratch state (flat flow/link tables, per-link member lists,
+//    residuals, demand heaps) so the steady-state solve path performs zero
+//    heap allocations, and prunes each progressive-filling round down to the
+//    *active link set* and the flows actually touched by the round's
+//    bottleneck instead of rescanning every flow × every link.
+//  * SolveMaxMinReference — the original O(rounds × flows × links) free
+//    function, kept verbatim as the behavioural oracle. The solver is
+//    required to reproduce its rates bit-for-bit (see the differential test
+//    in tests/fabric/max_min_solver_test.cc); any optimisation that changes
+//    a result is a bug.
 
 #ifndef MIHN_SRC_FABRIC_MAX_MIN_H_
 #define MIHN_SRC_FABRIC_MAX_MIN_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -27,9 +42,21 @@ struct MaxMinFlow {
 
 inline constexpr double kUnlimitedDemand = 1e30;
 
-// Returns one rate per flow (bytes/sec).
+// Reusable weighted max-min solver workspace.
 //
-// Guarantees:
+// Usage (batch API, the fabric hot path):
+//
+//   solver.Begin(num_links);
+//   solver.SetCapacity(l, cap);           // for every link, before AddFlow
+//   solver.AddFlow(weight, demand, links, n);  // in flow order
+//   const std::vector<double>& rates = solver.Commit();
+//
+// |rates| is indexed by AddFlow order and remains valid until the next
+// Begin()/Solve(). All internal arrays are retained between solves, so after
+// a warm-up call of at least the same problem size the entire
+// Begin/AddFlow/Commit cycle allocates nothing.
+//
+// Guarantees (identical to SolveMaxMinReference, bit-for-bit):
 //  * Feasibility: for every link, sum of rates of flows crossing it does
 //    not exceed its capacity (within floating-point tolerance).
 //  * Demand: no flow exceeds its demand.
@@ -38,11 +65,100 @@ inline constexpr double kUnlimitedDemand = 1e30;
 //    weight-normalized rate.
 //  * Work conservation: no rate can be increased without violating the
 //    above.
+//  * Flows crossing a zero-capacity or out-of-range link get rate 0.
 //
-// Flows crossing a zero-capacity link get rate 0. Complexity O(F * L * I)
-// with I <= number of distinct bottlenecks (<= F).
+// Complexity: O(F log F + E) setup per solve (E = total flow-link
+// incidences) plus O(A + K·deg + K log F) per filling round, where A is the
+// number of links still carrying unfixed flows and K the number of flows
+// fixed that round — instead of the reference's O(F + L + F·deg) per round.
+class MaxMinSolver {
+ public:
+  MaxMinSolver() = default;
+  MaxMinSolver(const MaxMinSolver&) = delete;
+  MaxMinSolver& operator=(const MaxMinSolver&) = delete;
+
+  // Starts a new problem over |num_links| resources, all capacities 0.
+  void Begin(size_t num_links);
+
+  // Sets one link's capacity. Must precede all AddFlow calls so dead-flow
+  // detection in Commit() sees final capacities.
+  void SetCapacity(int32_t link, double capacity);
+
+  // Appends one flow crossing |count| links (duplicates allowed; a sorted,
+  // deduplicated list is detected and copied without re-sorting). Returns
+  // the flow's index in the rate vector.
+  int32_t AddFlow(double weight, double demand, const int32_t* links, size_t count);
+
+  // Solves the problem accumulated since Begin(). The returned reference is
+  // invalidated by the next Begin()/Solve().
+  const std::vector<double>& Commit();
+
+  // One-shot convenience over Begin/SetCapacity/AddFlow/Commit.
+  const std::vector<double>& Solve(const std::vector<MaxMinFlow>& flows,
+                                   const std::vector<double>& capacities);
+
+  // Number of progressive-filling rounds of the last Commit() (observability
+  // for benches and tests).
+  size_t last_rounds() const { return last_rounds_; }
+
+ private:
+  void RemoveActiveLink(int32_t link);
+  void FixFlow(int32_t flow, double rate);
+
+  size_t num_links_ = 0;
+  size_t num_flows_ = 0;
+  size_t last_rounds_ = 0;
+
+  // Problem inputs, flat.
+  std::vector<double> capacities_;
+  std::vector<double> flow_weight_;  // Clamped to >= 1e-12.
+  std::vector<double> flow_demand_;
+  // CSR flow -> sorted deduped link list.
+  std::vector<int32_t> flow_link_off_;
+  std::vector<int32_t> flow_link_ids_;
+
+  // Solve state.
+  std::vector<double> rates_;
+  std::vector<double> residual_;
+  std::vector<double> link_weight_;  // Sum of weights of unfixed flows per link.
+  std::vector<uint8_t> fixed_;
+  size_t unfixed_ = 0;
+
+  // CSR link -> member flows (non-dead only).
+  std::vector<int32_t> link_flow_off_;
+  std::vector<int32_t> link_flow_ids_;
+
+  // Active link set: links with link_weight_ > 0, swap-removed when a link's
+  // weight drains to exactly 0 (links holding only floating-point dust stay
+  // active so residual charging matches the reference bit-for-bit).
+  std::vector<int32_t> active_links_;
+  std::vector<int32_t> active_pos_;  // link -> index in active_links_, -1 if absent.
+
+  // Min-heaps over unfixed flows with lazy deletion. heap_level_ is keyed by
+  // demand/weight (the exact demand-ceiling term of the water level);
+  // heap_fix_ is keyed by (demand - demand_tol)/weight, a conservative lower
+  // bound on the level at which the flow becomes fixable at-demand.
+  std::vector<std::pair<double, int32_t>> heap_level_;
+  std::vector<std::pair<double, int32_t>> heap_fix_;
+
+  // Per-round scratch: candidate flows and an epoch mark for deduping them.
+  std::vector<int32_t> candidates_;
+  std::vector<uint32_t> candidate_epoch_;
+  uint32_t epoch_ = 0;
+  size_t fixed_this_round_ = 0;
+};
+
+// Thin wrapper over a MaxMinSolver; returns one rate per flow (bytes/sec).
+// Prefer a long-lived MaxMinSolver on hot paths — this constructs a fresh
+// workspace per call.
 std::vector<double> SolveMaxMin(const std::vector<MaxMinFlow>& flows,
                                 const std::vector<double>& capacities);
+
+// The original straightforward implementation, O(F·L) per filling round.
+// Retained as the oracle for differential testing and as the baseline for
+// bench_solver_scaling; not used by the fabric.
+std::vector<double> SolveMaxMinReference(const std::vector<MaxMinFlow>& flows,
+                                         const std::vector<double>& capacities);
 
 }  // namespace mihn::fabric
 

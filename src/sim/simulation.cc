@@ -21,25 +21,64 @@ EventHandle Simulation::ScheduleAfter(TimeNs delay, std::function<void()> fn) {
 
 EventHandle Simulation::SchedulePeriodic(TimeNs period, std::function<void()> fn) {
   auto flag = std::make_shared<bool>(false);
-  // The recursive lambda owns the user callback; each firing re-arms itself
-  // unless the shared cancellation flag has been set.
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, period, fn = std::move(fn), flag, tick]() {
-    if (*flag) {
-      return;
-    }
-    fn();
-    if (*flag) {
-      return;
-    }
-    queue_.push(Event{now_ + period, next_seq_++, *tick, flag});
-  };
-  queue_.push(Event{now_ + period, next_seq_++, *tick, flag});
+  ArmPeriodic(period, std::make_shared<std::function<void()>>(std::move(fn)), flag);
   return EventHandle(std::move(flag));
 }
 
+void Simulation::ArmPeriodic(TimeNs period, std::shared_ptr<std::function<void()>> fn,
+                             std::shared_ptr<bool> flag) {
+  queue_.push(Event{now_ + period, next_seq_++,
+                    [this, period, fn, flag] {
+                      if (*flag) {
+                        return;
+                      }
+                      (*fn)();
+                      if (*flag) {
+                        return;
+                      }
+                      ArmPeriodic(period, fn, flag);
+                    },
+                    flag});
+}
+
+EventHandle Simulation::AddPreAdvanceHook(std::function<void()> fn) {
+  auto flag = std::make_shared<bool>(false);
+  pre_advance_hooks_.emplace_back(flag, std::move(fn));
+  return EventHandle(std::move(flag));
+}
+
+bool Simulation::FirePreAdvanceHooks() {
+  const uint64_t seq_before = next_seq_;
+  // Index-based: a hook may register further hooks (reallocating the vector),
+  // so take a copy of each callback before invoking it.
+  for (size_t i = 0; i < pre_advance_hooks_.size(); ++i) {
+    if (*pre_advance_hooks_[i].first) {
+      continue;
+    }
+    const std::function<void()> fn = pre_advance_hooks_[i].second;
+    fn();
+  }
+  std::erase_if(pre_advance_hooks_, [](const auto& hook) { return *hook.first; });
+  return next_seq_ != seq_before;
+}
+
 bool Simulation::Step() {
-  while (!queue_.empty()) {
+  for (;;) {
+    // Drop leading cancelled events so the advance decision below sees the
+    // real next event time.
+    while (!queue_.empty() && queue_.top().cancelled && *queue_.top().cancelled) {
+      queue_.pop();
+    }
+    if (!pre_advance_hooks_.empty() && (queue_.empty() || queue_.top().at > now_)) {
+      // End of this timestamp: let hooks settle coalesced work. They may
+      // schedule events (possibly at now_), so re-evaluate if they did.
+      if (FirePreAdvanceHooks()) {
+        continue;
+      }
+    }
+    if (queue_.empty()) {
+      return false;
+    }
     // priority_queue::top returns const&; the event is copied out before pop
     // so the callback can schedule new events (which may reallocate the heap).
     Event ev = queue_.top();
@@ -52,7 +91,6 @@ bool Simulation::Step() {
     ev.fn();
     return true;
   }
-  return false;
 }
 
 TimeNs Simulation::Run() {
@@ -65,10 +103,16 @@ TimeNs Simulation::Run() {
 TimeNs Simulation::RunUntil(TimeNs deadline) {
   stopped_ = false;
   while (!stopped_) {
-    if (queue_.empty()) {
-      break;
+    while (!queue_.empty() && queue_.top().cancelled && *queue_.top().cancelled) {
+      queue_.pop();
     }
-    if (queue_.top().at > deadline) {
+    if (queue_.empty() || queue_.top().at > deadline) {
+      // Stopping short of the next event (or out of events) still advances
+      // the clock below — give pre-advance hooks their end-of-timestamp
+      // flush first; they may schedule events within the deadline.
+      if (!pre_advance_hooks_.empty() && FirePreAdvanceHooks()) {
+        continue;
+      }
       break;
     }
     Step();

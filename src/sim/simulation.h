@@ -85,6 +85,17 @@ class Simulation {
   // Makes Run()/RunUntil() return after the current event completes.
   void Stop() { stopped_ = true; }
 
+  // Registers a hook fired whenever the simulation is about to advance the
+  // virtual clock past the current timestamp — including when the event
+  // queue drains or a RunUntil() deadline cuts execution short. Components
+  // that coalesce same-timestamp work (e.g. the fabric's lazy rate
+  // recompute) use this as their "end of timestamp" flush point: all
+  // mutations within one timestamp are settled exactly once before any
+  // later-time event observes them. Hooks must be idempotent; they may
+  // schedule new events (scheduling re-runs the advance decision). Cancel
+  // via the returned handle; a cancelled hook is compacted out lazily.
+  EventHandle AddPreAdvanceHook(std::function<void()> fn);
+
   // Number of events executed so far (for tests and engine benchmarks).
   uint64_t events_executed() const { return events_executed_; }
 
@@ -111,13 +122,26 @@ class Simulation {
   };
 
   // Pops and executes the next event. Returns false if the queue is empty.
+  // Fires pre-advance hooks before the clock moves past now_ (and before
+  // concluding the queue is empty).
   bool Step();
+
+  // Pushes the next firing of a periodic callback. Each firing re-arms via a
+  // fresh closure so no event ever owns a reference to itself (a
+  // self-referential shared_ptr cycle would leak the closure).
+  void ArmPeriodic(TimeNs period, std::shared_ptr<std::function<void()>> fn,
+                   std::shared_ptr<bool> flag);
+
+  // Runs all live pre-advance hooks. Returns true if any hook scheduled a
+  // new event (the caller must re-evaluate what to run next).
+  bool FirePreAdvanceHooks();
 
   TimeNs now_ = TimeNs::Zero();
   uint64_t next_seq_ = 0;
   uint64_t events_executed_ = 0;
   bool stopped_ = false;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::vector<std::pair<std::shared_ptr<bool>, std::function<void()>>> pre_advance_hooks_;
   Rng root_rng_;
 };
 

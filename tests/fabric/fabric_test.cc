@@ -473,8 +473,16 @@ TEST(FabricTest, RecomputeCountAdvances) {
   FlowSpec spec;
   spec.path = RoutedPath(fabric, line.a, line.c);
   const FlowId id = fabric.StartFlow(spec);
+  // Mutations are coalesced: nothing is solved until a read (or the end of
+  // the timestamp) forces it.
+  EXPECT_EQ(fabric.recompute_count(), before);
+  EXPECT_EQ(fabric.mutation_count(), 1u);
+  fabric.FlowRate(id);  // Flush point.
+  EXPECT_EQ(fabric.recompute_count(), before + 1);
   fabric.StopFlow(id);
+  fabric.FlowRate(id);
   EXPECT_EQ(fabric.recompute_count(), before + 2);
+  EXPECT_EQ(fabric.mutation_count(), 2u);
 }
 
 }  // namespace

@@ -171,6 +171,62 @@ TEST(SimulationTest, EventsCanScheduleManyNestedEvents) {
   EXPECT_EQ(sim.Now(), TimeNs::Nanos(999));
 }
 
+TEST(SimulationTest, PreAdvanceHookFiresBetweenTimestampsNotWithin) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.AddPreAdvanceHook([&] { order.push_back(-1); });
+  // Two events at t=10 (one timestamp), one at t=20.
+  sim.ScheduleAt(TimeNs::Nanos(10), [&] { order.push_back(1); });
+  sim.ScheduleAt(TimeNs::Nanos(10), [&] { order.push_back(2); });
+  sim.ScheduleAt(TimeNs::Nanos(20), [&] { order.push_back(3); });
+  sim.Run();
+  // Hook: before advancing to 10, between 10 and 20, and when the queue
+  // drains — never between the two t=10 events.
+  EXPECT_EQ(order, (std::vector<int>{-1, 1, 2, -1, 3, -1}));
+}
+
+TEST(SimulationTest, PreAdvanceHookMayScheduleEvents) {
+  Simulation sim;
+  int flushed = 0;
+  bool event_ran = false;
+  sim.AddPreAdvanceHook([&] {
+    if (flushed == 0) {
+      ++flushed;
+      sim.ScheduleAfter(TimeNs::Nanos(5), [&] { event_ran = true; });
+    }
+  });
+  sim.ScheduleAt(TimeNs::Nanos(10), [] {});
+  sim.Run();
+  EXPECT_TRUE(event_ran);  // Hook-scheduled event executed, not dropped.
+}
+
+TEST(SimulationTest, PreAdvanceHookFiresBeforeRunUntilClampsClock) {
+  Simulation sim;
+  TimeNs hook_time = TimeNs::Nanos(-1);
+  sim.AddPreAdvanceHook([&] { hook_time = sim.Now(); });
+  sim.ScheduleAt(TimeNs::Nanos(10), [] {});
+  sim.ScheduleAt(TimeNs::Nanos(500), [] {});  // Beyond the deadline.
+  sim.RunUntil(TimeNs::Nanos(100));
+  // The flush happened at t=10 (the last executed timestamp), before the
+  // clock was advanced to the deadline.
+  EXPECT_EQ(hook_time, TimeNs::Nanos(10));
+  EXPECT_EQ(sim.Now(), TimeNs::Nanos(100));
+}
+
+TEST(SimulationTest, CancelledPreAdvanceHookStopsFiring) {
+  Simulation sim;
+  int fired = 0;
+  EventHandle handle = sim.AddPreAdvanceHook([&] { ++fired; });
+  sim.ScheduleAt(TimeNs::Nanos(10), [] {});
+  sim.Run();
+  const int fired_before = fired;
+  EXPECT_GT(fired_before, 0);
+  handle.Cancel();
+  sim.ScheduleAt(TimeNs::Nanos(20), [] {});
+  sim.Run();
+  EXPECT_EQ(fired, fired_before);
+}
+
 TEST(SimulationTest, ForkRngIsDeterministicPerSeed) {
   Simulation a(99);
   Simulation b(99);
