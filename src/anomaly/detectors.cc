@@ -13,6 +13,7 @@ std::optional<Anomaly> ThresholdDetector::Observe(sim::TimeNs at, double value) 
     Anomaly a;
     a.at = at;
     a.value = value;
+    // mihn-check: float-eq-ok(guard against division by an exact-zero bound)
     a.score = bound != 0.0 ? std::abs(value - bound) / std::abs(bound) : std::abs(value);
     a.detail = value < low_ ? "below threshold" : "above threshold";
     return a;

@@ -61,7 +61,7 @@ std::vector<double> MultivariateDetector::SolveCov(const std::vector<double>& b)
     }
     for (size_t r = col + 1; r < n; ++r) {
       const double factor = a[perm[r] * n + col] / diag;
-      if (factor == 0.0) {
+      if (factor == 0.0) {  // mihn-check: float-eq-ok(skip exact-zero elimination rows)
         continue;
       }
       for (size_t c = col; c < n; ++c) {

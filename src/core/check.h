@@ -1,0 +1,52 @@
+// Runtime invariant checking.
+//
+// MIHN_CHECK(cond) aborts (with file:line and the failed expression) when
+// |cond| is false. It is always on: use it for invariants whose violation
+// means the simulation oracle itself is corrupt — a wrong answer from here
+// silently poisons every downstream experiment.
+//
+// MIHN_DCHECK(cond) is the debug-build variant: it compiles to MIHN_CHECK
+// when the tree is configured with -DMIHN_ENABLE_INVARIANT_CHECKS=ON and to
+// a no-op (that still type-checks |cond|) otherwise. CI runs the fabric/sim
+// suites in a dedicated invariant-check job so every DCHECK is exercised on
+// every PR without taxing release builds.
+//
+// Both macros are usable inside constexpr functions: in a constant
+// evaluation a violated check calls the non-constexpr failure handler,
+// turning the violation into a compile error.
+//
+// This header is intentionally dependency-free (header-only, <cstdio> +
+// <cstdlib> only) so the leaf libraries (sim, topology) can use it without
+// a link-time cycle onto mihn_core.
+
+#ifndef MIHN_SRC_CORE_CHECK_H_
+#define MIHN_SRC_CORE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mihn::internal {
+
+// Not constexpr on purpose: reaching this call during constant evaluation
+// makes the enclosing constexpr expression ill-formed (a compile error at
+// the violating call site).
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "MIHN_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace mihn::internal
+
+#define MIHN_CHECK(cond) \
+  ((cond) ? static_cast<void>(0) : ::mihn::internal::CheckFailed(__FILE__, __LINE__, #cond))
+
+#ifdef MIHN_ENABLE_INVARIANT_CHECKS
+#define MIHN_DCHECK(cond) MIHN_CHECK(cond)
+#else
+// sizeof keeps |cond| parsed and ODR-used-free without evaluating it, so
+// variables referenced only by DCHECKs do not warn in release builds.
+#define MIHN_DCHECK(cond) static_cast<void>(sizeof(!(cond)))
+#endif
+
+#endif  // MIHN_SRC_CORE_CHECK_H_

@@ -31,6 +31,41 @@ PingResult PingNow(fabric::Fabric& fabric, topology::ComponentId src,
   return result;
 }
 
+namespace {
+
+struct PingSeriesState {
+  sim::Histogram latency_us;
+  int remaining = 0;
+  topology::Path path;
+  sim::TimeNs interval;
+  int64_t probe_bytes = 0;
+  std::function<void(const sim::Histogram&)> on_done;
+};
+
+// Sends one probe; each delivery re-arms via a fresh closure, so no event
+// ever owns a reference to itself (the same rule Simulation::ArmPeriodic
+// follows — a self-referential std::function cycle would leak the closure).
+void FirePingProbe(fabric::Fabric& fabric, const std::shared_ptr<PingSeriesState>& state) {
+  fabric::PacketSpec probe;
+  probe.path = state->path;
+  probe.bytes = state->probe_bytes;
+  probe.klass = fabric::TrafficClass::kProbe;
+  probe.on_delivered = [state, &fabric](sim::TimeNs latency) {
+    state->latency_us.Add(latency.ToMicrosF());
+    if (--state->remaining <= 0) {
+      if (state->on_done) {
+        state->on_done(state->latency_us);
+      }
+      return;
+    }
+    fabric.simulation().ScheduleAfter(
+        state->interval, [state, &fabric] { FirePingProbe(fabric, state); });
+  };
+  fabric.SendPacket(std::move(probe));
+}
+
+}  // namespace
+
 void PingSeries(fabric::Fabric& fabric, topology::ComponentId src, topology::ComponentId dst,
                 int count, sim::TimeNs interval,
                 std::function<void(const sim::Histogram&)> on_done, int64_t probe_bytes) {
@@ -41,36 +76,13 @@ void PingSeries(fabric::Fabric& fabric, topology::ComponentId src, topology::Com
     }
     return;
   }
-  struct SeriesState {
-    sim::Histogram latency_us;
-    int remaining = 0;
-  };
-  auto state = std::make_shared<SeriesState>();
+  auto state = std::make_shared<PingSeriesState>();
   state->remaining = count;
-  auto shared_path = std::make_shared<topology::Path>(std::move(*path));
-
-  // One probe per tick; the recursion keeps the interval exact regardless
-  // of per-probe latency.
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [&fabric, state, shared_path, interval, on_done = std::move(on_done), probe_bytes,
-           tick] {
-    fabric::PacketSpec probe;
-    probe.path = *shared_path;
-    probe.bytes = probe_bytes;
-    probe.klass = fabric::TrafficClass::kProbe;
-    probe.on_delivered = [state, &fabric, interval, on_done, tick](sim::TimeNs latency) {
-      state->latency_us.Add(latency.ToMicrosF());
-      if (--state->remaining <= 0) {
-        if (on_done) {
-          on_done(state->latency_us);
-        }
-        return;
-      }
-      fabric.simulation().ScheduleAfter(interval, *tick);
-    };
-    fabric.SendPacket(std::move(probe));
-  };
-  (*tick)();
+  state->path = std::move(*path);
+  state->interval = interval;
+  state->probe_bytes = probe_bytes;
+  state->on_done = std::move(on_done);
+  FirePingProbe(fabric, state);
 }
 
 // -- HostTrace ----------------------------------------------------------------

@@ -4,15 +4,15 @@
 
 namespace mihn::fabric {
 
-double DdioHitRate(double aggregate_write_bytes_per_sec, sim::TimeNs drain_time,
+double DdioHitRate(sim::Bandwidth aggregate_write_rate, sim::TimeNs drain_time,
                    int64_t ddio_capacity_bytes) {
-  if (aggregate_write_bytes_per_sec <= 0.0) {
+  if (aggregate_write_rate.IsZero()) {
     return 1.0;
   }
   if (ddio_capacity_bytes <= 0) {
     return 0.0;
   }
-  const double working_set = aggregate_write_bytes_per_sec * drain_time.ToSecondsF();
+  const double working_set = aggregate_write_rate.bytes_per_sec() * drain_time.ToSecondsF();
   if (working_set <= static_cast<double>(ddio_capacity_bytes)) {
     return 1.0;
   }

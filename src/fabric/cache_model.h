@@ -21,13 +21,14 @@
 #include <cstdint>
 
 #include "src/sim/time.h"
+#include "src/sim/units.h"
 
 namespace mihn::fabric {
 
 // Hit rate of DDIO-eligible I/O writes given the aggregate write rate into
 // one socket's LLC. Returns 1.0 when the working set fits, capacity/working
-// set otherwise (in (0, 1]). A zero or negative rate yields 1.0.
-double DdioHitRate(double aggregate_write_bytes_per_sec, sim::TimeNs drain_time,
+// set otherwise (in (0, 1]). A zero rate yields 1.0.
+double DdioHitRate(sim::Bandwidth aggregate_write_rate, sim::TimeNs drain_time,
                    int64_t ddio_capacity_bytes);
 
 // Per-socket cache observability snapshot (exported through telemetry; this

@@ -5,6 +5,8 @@
 #include <limits>
 #include <utility>
 
+#include "src/core/check.h"
+
 namespace mihn::fabric {
 namespace {
 
@@ -405,7 +407,8 @@ void Fabric::UpdateCacheCoupling() {
     }
     const double hit =
         config_.ddio_enabled
-            ? DdioHitRate(io_rate, config_.llc_drain_time, config_.DdioCapacityBytes())
+            ? DdioHitRate(sim::Bandwidth::BytesPerSec(io_rate), config_.llc_drain_time,
+                          config_.DdioCapacityBytes())
             : 0.0;
     const double miss = 1.0 - hit;
 
@@ -568,7 +571,55 @@ void Fabric::Recompute() {
   }
   ++recompute_count_;
   in_recompute_ = false;
+#ifdef MIHN_ENABLE_INVARIANT_CHECKS
+  CheckInvariants();
+#endif
   RescheduleCompletion();
+}
+
+void Fabric::CheckInvariants() const {
+#ifdef MIHN_ENABLE_INVARIANT_CHECKS
+  // Float tolerance: the solver distributes capacity through repeated
+  // divisions, so allow a relative 1e-6 plus one byte/s of absolute slack.
+  constexpr double kRelTol = 1e-6;
+  constexpr double kAbsTolBps = 1.0;
+
+  // A solve never runs without a preceding mutation (dirty_ is only raised
+  // by MarkDirty, which counts), and this pass runs post-solve.
+  MIHN_CHECK(recompute_count_ <= mutation_count_);
+  MIHN_CHECK(!dirty_);
+  MIHN_CHECK(!in_recompute_);
+
+  // Per-link conservation, recomputed independently from flow state.
+  std::vector<double> link_sums(links_.size(), 0.0);
+  for (const auto& [id, f] : flows_) {
+    MIHN_CHECK(f.rate >= 0.0);
+    MIHN_CHECK(f.bytes_moved >= 0.0);
+    if (f.spill_child != kInvalidFlow) {
+      const auto child = flows_.find(f.spill_child);
+      MIHN_CHECK(child != flows_.end());
+      MIHN_CHECK(child->second.spill_parent == id);
+    }
+    for (const int32_t li : f.link_indices) {
+      link_sums[static_cast<size_t>(li)] += f.rate;
+    }
+  }
+  for (size_t i = 0; i < links_.size(); ++i) {
+    const DirectedLinkState& state = links_[i];
+    MIHN_CHECK(state.rate >= 0.0);
+    MIHN_CHECK(state.effective_capacity >= 0.0);
+    MIHN_CHECK(state.bytes_total >= 0.0);
+    const double slack = state.rate * kRelTol + kAbsTolBps;
+    MIHN_CHECK(std::abs(link_sums[i] - state.rate) <= slack);
+    MIHN_CHECK(state.rate <= state.effective_capacity * (1.0 + kRelTol) + kAbsTolBps);
+    double tenant_sum = 0.0;
+    for (const auto& [tenant, rate] : state.rate_by_tenant) {
+      MIHN_CHECK(rate >= 0.0);
+      tenant_sum += rate;
+    }
+    MIHN_CHECK(std::abs(tenant_sum - state.rate) <= slack);
+  }
+#endif
 }
 
 void Fabric::RescheduleCompletion() {

@@ -27,7 +27,6 @@
 #include <map>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "src/fabric/cache_model.h"
@@ -151,6 +150,16 @@ class Fabric {
   // recompute_count() is the observable coalescing ratio.
   uint64_t mutation_count() const { return mutation_count_; }
 
+  // Debug invariant pass over the solved state: per-link conservation
+  // (Σ flow rates on a link equals the link's aggregate and stays within
+  // effective capacity, modulo float tolerance), non-negative rates and
+  // counters, spill parent/child symmetry, and dirty-flag/recompute-count
+  // consistency. Aborts via MIHN_CHECK on the first violation. A no-op
+  // unless built with -DMIHN_ENABLE_INVARIANT_CHECKS=ON, in which case
+  // Recompute() runs it after every solve, so the existing fabric/sim test
+  // suites exercise it end to end.
+  void CheckInvariants() const;
+
  private:
   struct FlowState {
     FlowId id = kInvalidFlow;
@@ -230,9 +239,11 @@ class Fabric {
   FlowId next_flow_id_ = 1;
   sim::TimeNs last_accrual_;
   sim::EventHandle completion_event_;
-  std::unordered_map<topology::LinkId, LinkFault> faults_;
+  // Ordered maps: fault and DIMM state feed snapshots, telemetry, and spill
+  // placement, so iteration order must be the key order, never hash order.
+  std::map<topology::LinkId, LinkFault> faults_;
   std::map<topology::ComponentId, SocketCacheStats> cache_stats_;
-  std::unordered_map<topology::ComponentId, std::vector<topology::ComponentId>> socket_dimms_;
+  std::map<topology::ComponentId, std::vector<topology::ComponentId>> socket_dimms_;
   MaxMinSolver solver_;  // Persistent workspace: no allocation at steady state.
   sim::EventHandle pre_advance_hook_;
   uint64_t recompute_count_ = 0;

@@ -97,7 +97,7 @@ void MaxMinSolver::FixFlow(int32_t flow, double rate) {
     // Only a link whose weight drained to *exactly* zero can never again
     // affect residuals (delta * 0 == 0); links left holding rounding dust
     // must keep getting charged to match the reference bit-for-bit.
-    if (link_weight_[l] == 0.0) {
+    if (link_weight_[l] == 0.0) {  // mihn-check: float-eq-ok(exact-zero drain test, see comment above)
       RemoveActiveLink(static_cast<int32_t>(l));
     }
   }

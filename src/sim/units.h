@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string>
 
+#include "src/core/check.h"
 #include "src/sim/time.h"
 
 namespace mihn::sim {
@@ -21,12 +22,28 @@ class Bandwidth {
  public:
   constexpr Bandwidth() = default;
 
-  static constexpr Bandwidth BytesPerSec(double v) { return Bandwidth(v); }
+  // A rate is a magnitude: the named factories reject negative and NaN
+  // inputs under invariant-check builds (v >= 0.0 is false for NaN).
+  // Differences (headroom, deficits) built with operator- may still go
+  // negative; IsZero() treats those as empty.
+  static constexpr Bandwidth BytesPerSec(double v) {
+    MIHN_DCHECK(v >= 0.0);
+    return Bandwidth(v);
+  }
   // Network convention: 1 Gbps = 1e9 bits/s.
-  static constexpr Bandwidth Gbps(double v) { return Bandwidth(v * 1e9 / 8.0); }
-  static constexpr Bandwidth Mbps(double v) { return Bandwidth(v * 1e6 / 8.0); }
+  static constexpr Bandwidth Gbps(double v) {
+    MIHN_DCHECK(v >= 0.0);
+    return Bandwidth(v * 1e9 / 8.0);
+  }
+  static constexpr Bandwidth Mbps(double v) {
+    MIHN_DCHECK(v >= 0.0);
+    return Bandwidth(v * 1e6 / 8.0);
+  }
   // Memory convention: 1 GB/s = 1e9 bytes/s.
-  static constexpr Bandwidth GBps(double v) { return Bandwidth(v * 1e9); }
+  static constexpr Bandwidth GBps(double v) {
+    MIHN_DCHECK(v >= 0.0);
+    return Bandwidth(v * 1e9);
+  }
   static constexpr Bandwidth Zero() { return Bandwidth(0); }
 
   constexpr double bytes_per_sec() const { return bps_; }

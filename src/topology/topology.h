@@ -82,6 +82,7 @@ class Topology {
   std::vector<Component> components_;
   std::vector<Link> links_;
   std::vector<std::vector<LinkId>> adjacency_;
+  // mihn-check: unordered-ok(name->id lookup only; never iterated, so hash order cannot leak)
   std::unordered_map<std::string, ComponentId> by_name_;
 };
 

@@ -2,44 +2,48 @@
 
 #include <gtest/gtest.h>
 
+#include "src/sim/units.h"
+
 namespace mihn::fabric {
 namespace {
 
+using sim::Bandwidth;
 using sim::TimeNs;
 
 constexpr int64_t kCap = 3 * 1024 * 1024;  // 3 MiB of DDIO ways.
 
 TEST(CacheModelTest, ZeroRateAlwaysHits) {
-  EXPECT_DOUBLE_EQ(DdioHitRate(0.0, TimeNs::Micros(20), kCap), 1.0);
-  EXPECT_DOUBLE_EQ(DdioHitRate(-5.0, TimeNs::Micros(20), kCap), 1.0);
+  EXPECT_DOUBLE_EQ(DdioHitRate(Bandwidth::Zero(), TimeNs::Micros(20), kCap), 1.0);
 }
 
 TEST(CacheModelTest, ZeroCapacityAlwaysMisses) {
-  EXPECT_DOUBLE_EQ(DdioHitRate(1e9, TimeNs::Micros(20), 0), 0.0);
+  EXPECT_DOUBLE_EQ(DdioHitRate(Bandwidth::BytesPerSec(1e9), TimeNs::Micros(20), 0), 0.0);
 }
 
 TEST(CacheModelTest, FittingWorkingSetHits) {
   // 10 GB/s * 20us = 200 KB working set << 3 MiB.
-  EXPECT_DOUBLE_EQ(DdioHitRate(10e9, TimeNs::Micros(20), kCap), 1.0);
+  EXPECT_DOUBLE_EQ(DdioHitRate(Bandwidth::GBps(10), TimeNs::Micros(20), kCap), 1.0);
 }
 
 TEST(CacheModelTest, ExactFitBoundary) {
   // rate * drain == capacity exactly.
   const double rate = static_cast<double>(kCap) / TimeNs::Micros(20).ToSecondsF();
-  EXPECT_DOUBLE_EQ(DdioHitRate(rate, TimeNs::Micros(20), kCap), 1.0);
-  EXPECT_LT(DdioHitRate(rate * 1.01, TimeNs::Micros(20), kCap), 1.0);
+  EXPECT_DOUBLE_EQ(DdioHitRate(Bandwidth::BytesPerSec(rate), TimeNs::Micros(20), kCap), 1.0);
+  EXPECT_LT(DdioHitRate(Bandwidth::BytesPerSec(rate * 1.01), TimeNs::Micros(20), kCap), 1.0);
 }
 
 TEST(CacheModelTest, OverflowDegradesProportionally) {
   const double fit_rate = static_cast<double>(kCap) / TimeNs::Micros(20).ToSecondsF();
-  EXPECT_NEAR(DdioHitRate(2 * fit_rate, TimeNs::Micros(20), kCap), 0.5, 1e-12);
-  EXPECT_NEAR(DdioHitRate(4 * fit_rate, TimeNs::Micros(20), kCap), 0.25, 1e-12);
+  EXPECT_NEAR(DdioHitRate(Bandwidth::BytesPerSec(2 * fit_rate), TimeNs::Micros(20), kCap), 0.5,
+              1e-12);
+  EXPECT_NEAR(DdioHitRate(Bandwidth::BytesPerSec(4 * fit_rate), TimeNs::Micros(20), kCap), 0.25,
+              1e-12);
 }
 
 TEST(CacheModelTest, HitRateMonotoneInRate) {
   double prev = 1.0;
   for (double rate = 1e9; rate < 1e12; rate *= 2) {
-    const double h = DdioHitRate(rate, TimeNs::Micros(20), kCap);
+    const double h = DdioHitRate(Bandwidth::BytesPerSec(rate), TimeNs::Micros(20), kCap);
     EXPECT_LE(h, prev);
     EXPECT_GT(h, 0.0);
     prev = h;
@@ -47,7 +51,7 @@ TEST(CacheModelTest, HitRateMonotoneInRate) {
 }
 
 TEST(CacheModelTest, LongerDrainTimeLowersHitRate) {
-  const double rate = 50e9;
+  const Bandwidth rate = Bandwidth::GBps(50);
   EXPECT_GE(DdioHitRate(rate, TimeNs::Micros(10), kCap),
             DdioHitRate(rate, TimeNs::Micros(100), kCap));
 }

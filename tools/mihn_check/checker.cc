@@ -1,0 +1,420 @@
+#include "tools/mihn_check/checker.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+namespace mihn::check {
+namespace {
+
+// -- Lexical preprocessing ----------------------------------------------------
+
+// Replaces comments and string/char literal contents with spaces, preserving
+// line structure, so rules never fire on prose or quoted text. Handles //,
+// /* */, "..." with escapes, '...', and R"delim(...)delim".
+std::string BlankCommentsAndStrings(const std::string& src) {
+  std::string out = src;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_end;  // ")delim\"" terminator for the active raw string.
+  size_t i = 0;
+  const size_t n = src.size();
+  auto blank = [&](size_t pos) {
+    if (out[pos] != '\n') {
+      out[pos] = ' ';
+    }
+  };
+  while (i < n) {
+    const char c = src[i];
+    const char next = i + 1 < n ? src[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          blank(i);
+          blank(i + 1);
+          state = State::kLineComment;
+          i += 2;
+        } else if (c == '/' && next == '*') {
+          blank(i);
+          blank(i + 1);
+          state = State::kBlockComment;
+          i += 2;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(src[i - 1])) &&
+                               src[i - 1] != '_'))) {
+          size_t d = i + 2;
+          while (d < n && src[d] != '(' && src[d] != '\n') {
+            ++d;
+          }
+          if (d < n && src[d] == '(') {
+            raw_end = ")" + src.substr(i + 2, d - (i + 2)) + "\"";
+            for (size_t k = i; k <= d; ++k) {
+              blank(k);
+            }
+            state = State::kRawString;
+            i = d + 1;
+          } else {
+            ++i;  // Not a raw string after all.
+          }
+        } else if (c == '"') {
+          blank(i);
+          state = State::kString;
+          ++i;
+        } else if (c == '\'') {
+          blank(i);
+          state = State::kChar;
+          ++i;
+        } else {
+          ++i;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          blank(i);
+        }
+        ++i;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          blank(i);
+          blank(i + 1);
+          state = State::kCode;
+          i += 2;
+        } else {
+          blank(i);
+          ++i;
+        }
+        break;
+      case State::kString:
+      case State::kChar:
+        if (c == '\\' && i + 1 < n) {
+          blank(i);
+          blank(i + 1);
+          i += 2;
+        } else if ((state == State::kString && c == '"') ||
+                   (state == State::kChar && c == '\'')) {
+          blank(i);
+          state = State::kCode;
+          ++i;
+        } else {
+          blank(i);
+          ++i;
+        }
+        break;
+      case State::kRawString:
+        if (src.compare(i, raw_end.size(), raw_end) == 0) {
+          for (size_t k = i; k < i + raw_end.size(); ++k) {
+            blank(k);
+          }
+          i += raw_end.size();
+          state = State::kCode;
+        } else {
+          blank(i);
+          ++i;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitLines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (const char c : s) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  lines.push_back(cur);
+  return lines;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) {
+    return "";
+  }
+  size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+// -- Suppression --------------------------------------------------------------
+
+// True if raw line |idx| (0-based) carries "mihn-check: <tag>(" itself, or
+// its immediately preceding line is a comment-only line carrying it.
+bool IsSuppressed(const std::vector<std::string>& raw_lines, size_t idx, const std::string& tag) {
+  const std::string marker = "mihn-check: " + tag + "(";
+  if (raw_lines[idx].find(marker) != std::string::npos) {
+    return true;
+  }
+  if (idx > 0) {
+    const std::string prev = Trim(raw_lines[idx - 1]);
+    if (prev.rfind("//", 0) == 0 && prev.find(marker) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// -- Per-file exemptions ------------------------------------------------------
+
+bool IsOneOf(const std::string& rel_path, std::initializer_list<const char*> paths) {
+  return std::any_of(paths.begin(), paths.end(),
+                     [&](const char* p) { return rel_path == p; });
+}
+
+// The seeded randomness / virtual-clock sources: the only files allowed to
+// touch nondeterminism primitives.
+bool ExemptFromNondet(const std::string& rel_path) {
+  return IsOneOf(rel_path,
+                 {"src/sim/random.h", "src/sim/random.cc", "src/sim/time.h", "src/sim/time.cc"});
+}
+
+// The unit layer itself necessarily traffics in raw doubles.
+bool ExemptFromUnitParams(const std::string& rel_path) {
+  return IsOneOf(rel_path,
+                 {"src/sim/units.h", "src/sim/units.cc", "src/sim/time.h", "src/sim/time.cc"});
+}
+
+bool IsHeader(const std::string& rel_path) {
+  return rel_path.size() > 2 && rel_path.compare(rel_path.size() - 2, 2, ".h") == 0;
+}
+
+// -- Rules --------------------------------------------------------------------
+
+struct RuleContext {
+  const std::string& rel_path;
+  const std::vector<std::string>& raw_lines;   // For suppression lookup.
+  const std::vector<std::string>& code_lines;  // Comments/strings blanked.
+  std::vector<Finding>& findings;
+};
+
+void Report(RuleContext& ctx, size_t idx, const std::string& tag, const std::string& rule,
+            const std::string& message) {
+  if (IsSuppressed(ctx.raw_lines, idx, tag)) {
+    return;
+  }
+  ctx.findings.push_back(
+      {ctx.rel_path, static_cast<int>(idx) + 1, rule,
+       message + " (suppress with // mihn-check: " + tag + "(<reason>))"});
+}
+
+void RuleUnorderedContainer(RuleContext& ctx) {
+  static const std::regex re(R"(std::unordered_(map|set|multimap|multiset)\b)");
+  for (size_t i = 0; i < ctx.code_lines.size(); ++i) {
+    if (std::regex_search(ctx.code_lines[i], re)) {
+      Report(ctx, i, "unordered-ok", "D1:unordered-container",
+             "unordered container in simulation/output code: hash order leaks into event "
+             "order and snapshots; use std::map/std::set or sort before iterating");
+    }
+  }
+}
+
+void RuleNondetSource(RuleContext& ctx) {
+  if (ExemptFromNondet(ctx.rel_path)) {
+    return;
+  }
+  static const std::regex re(
+      R"(std::rand\b|\bsrand\b|\brandom_device\b|\bsystem_clock\b|\bsteady_clock\b|\bhigh_resolution_clock\b|std::chrono\b|\bmt19937\b|\btime\s*\(|\bclock_gettime\b|\bgettimeofday\b|\bdrand48\b)");
+  for (size_t i = 0; i < ctx.code_lines.size(); ++i) {
+    if (std::regex_search(ctx.code_lines[i], re)) {
+      Report(ctx, i, "nondet-ok", "D2:nondet-source",
+             "nondeterministic randomness/time source: draw from sim::Rng / sim::TimeNs "
+             "(src/sim/random.*, src/sim/time.*) so runs stay a pure function of the seed");
+    }
+  }
+}
+
+// Identifier segments that imply a physical unit when typed as raw double.
+bool IsUnitFlavoredName(std::string name) {
+  std::transform(name.begin(), name.end(), name.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  static const std::initializer_list<const char*> kUnitSegments = {
+      "gbps", "mbps", "kbps", "bps", "bw", "bandwidth", "latency", "ns", "bytes"};
+  std::stringstream ss(name);
+  std::string seg;
+  while (std::getline(ss, seg, '_')) {
+    if (std::any_of(kUnitSegments.begin(), kUnitSegments.end(),
+                    [&](const char* u) { return seg == u; })) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void RuleRawUnitParam(RuleContext& ctx) {
+  if (!IsHeader(ctx.rel_path) || ExemptFromUnitParams(ctx.rel_path)) {
+    return;
+  }
+  static const std::regex re(R"(\bdouble\s+([A-Za-z_][A-Za-z0-9_]*))");
+  int paren_depth = 0;
+  for (size_t i = 0; i < ctx.code_lines.size(); ++i) {
+    const std::string& line = ctx.code_lines[i];
+    // Walk the line, tracking parenthesis depth so only parameters (depth
+    // >= 1) are considered — struct members and return types stay legal.
+    size_t pos = 0;
+    std::smatch m;
+    std::string rest = line;
+    size_t base = 0;
+    while (std::regex_search(rest, m, re)) {
+      const size_t match_at = base + static_cast<size_t>(m.position(0));
+      for (; pos < match_at; ++pos) {
+        if (line[pos] == '(') {
+          ++paren_depth;
+        } else if (line[pos] == ')') {
+          paren_depth = std::max(0, paren_depth - 1);
+        }
+      }
+      if (paren_depth >= 1 && IsUnitFlavoredName(m[1].str())) {
+        Report(ctx, i, "units-ok", "D3:raw-unit-param",
+               "raw double parameter '" + m[1].str() +
+                   "' carries a unit in its name: pass sim::Bandwidth / sim::TimeNs so the "
+                   "Gbps-vs-GBps factor of 8 cannot slip through this API");
+      }
+      base = match_at + static_cast<size_t>(m.length(0));
+      rest = line.substr(base);
+    }
+    for (; pos < line.size(); ++pos) {
+      if (line[pos] == '(') {
+        ++paren_depth;
+      } else if (line[pos] == ')') {
+        paren_depth = std::max(0, paren_depth - 1);
+      }
+    }
+  }
+}
+
+void RuleFloat(RuleContext& ctx) {
+  static const std::regex float_re(R"(\bfloat\b)");
+  static const std::regex eq_lit_re(
+      R"((==|!=)\s*[-+]?(\d+\.\d*|\.\d+|\d+\.?\d*[eE][-+]?\d+)|(\d+\.\d*|\.\d+|\d+\.?\d*[eE][-+]?\d+)\s*(==|!=)[^=])");
+  for (size_t i = 0; i < ctx.code_lines.size(); ++i) {
+    if (std::regex_search(ctx.code_lines[i], float_re)) {
+      Report(ctx, i, "float-ok", "D4:float-type",
+             "float narrows silently and diverges across compilers; use double");
+    }
+    if (std::regex_search(ctx.code_lines[i], eq_lit_re)) {
+      Report(ctx, i, "float-eq-ok", "D4:float-eq",
+             "==/!= against a floating-point literal: compare with an explicit tolerance, "
+             "or annotate why exact equality is the intended semantics");
+    }
+  }
+}
+
+std::string ExpectedGuard(const std::string& rel_path) {
+  std::string guard = "MIHN_";
+  for (const char c : rel_path) {
+    guard += std::isalnum(static_cast<unsigned char>(c))
+                 ? static_cast<char>(std::toupper(static_cast<unsigned char>(c)))
+                 : '_';
+  }
+  guard += '_';
+  return guard;
+}
+
+void RuleHeaderHygiene(RuleContext& ctx) {
+  if (!IsHeader(ctx.rel_path)) {
+    return;
+  }
+  const std::string expected = ExpectedGuard(ctx.rel_path);
+  bool guard_seen = false;
+  for (size_t i = 0; i < ctx.code_lines.size(); ++i) {
+    const std::string line = Trim(ctx.code_lines[i]);
+    if (!guard_seen && line.rfind("#ifndef", 0) == 0) {
+      guard_seen = true;
+      const std::string macro = Trim(line.substr(7));
+      if (macro != expected) {
+        Report(ctx, i, "guard-ok", "D5:include-guard",
+               "include guard '" + macro + "' does not match path-derived '" + expected + "'");
+      }
+    }
+    if (line.rfind("using namespace", 0) == 0 || line.find(" using namespace ") != std::string::npos) {
+      Report(ctx, i, "header-ok", "D5:using-namespace",
+             "'using namespace' in a header pollutes every includer; qualify names instead");
+    }
+  }
+  if (!guard_seen) {
+    Report(ctx, 0, "guard-ok", "D5:include-guard",
+           "header has no #ifndef include guard (expected '" + ExpectedGuard(ctx.rel_path) + "')");
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> CheckFile(const std::string& rel_path, const std::string& content) {
+  const std::string blanked = BlankCommentsAndStrings(content);
+  const std::vector<std::string> raw_lines = SplitLines(content);
+  const std::vector<std::string> code_lines = SplitLines(blanked);
+  std::vector<Finding> findings;
+  RuleContext ctx{rel_path, raw_lines, code_lines, findings};
+  RuleUnorderedContainer(ctx);
+  RuleNondetSource(ctx);
+  RuleRawUnitParam(ctx);
+  RuleFloat(ctx);
+  RuleHeaderHygiene(ctx);
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+  });
+  return findings;
+}
+
+std::vector<Finding> CheckTree(const std::string& root, const std::vector<std::string>& targets) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> rel_files;
+  std::vector<Finding> findings;
+  for (const std::string& target : targets) {
+    const fs::path full = fs::path(root) / target;
+    std::error_code ec;
+    if (fs::is_directory(full, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(full, ec)) {
+        if (!entry.is_regular_file()) {
+          continue;
+        }
+        const std::string ext = entry.path().extension().string();
+        if (ext == ".h" || ext == ".cc" || ext == ".cpp") {
+          rel_files.push_back(fs::relative(entry.path(), root).generic_string());
+        }
+      }
+    } else if (fs::is_regular_file(full, ec)) {
+      rel_files.push_back(fs::path(target).generic_string());
+    } else {
+      findings.push_back({target, 0, "io", "target not found under root '" + root + "'"});
+    }
+  }
+  std::sort(rel_files.begin(), rel_files.end());
+  rel_files.erase(std::unique(rel_files.begin(), rel_files.end()), rel_files.end());
+  for (const std::string& rel : rel_files) {
+    std::ifstream in(fs::path(root) / rel, std::ios::binary);
+    if (!in) {
+      findings.push_back({rel, 0, "io", "unreadable file"});
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::vector<Finding> file_findings = CheckFile(rel, buf.str());
+    findings.insert(findings.end(), file_findings.begin(), file_findings.end());
+  }
+  return findings;
+}
+
+std::string FormatFindings(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  for (const Finding& f : findings) {
+    out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
+  }
+  out << (findings.empty() ? "mihn-check: clean\n"
+                           : "mihn-check: " + std::to_string(findings.size()) +
+                                 " unsuppressed finding(s)\n");
+  return out.str();
+}
+
+}  // namespace mihn::check

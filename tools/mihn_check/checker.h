@@ -1,0 +1,68 @@
+// mihn-check: repo-specific static analysis for determinism and unit safety.
+//
+// Generic linters cannot know that this repo's simulator must be a pure
+// function of (topology, workload, seed), or that a raw double crossing a
+// public API is one Gbps/GBps confusion away from a factor-of-8 error in
+// every experiment. mihn-check encodes those repo invariants as five
+// lexical rules over the src/ tree:
+//
+//   D1 unordered-container   std::unordered_{map,set,...} anywhere in
+//                            simulation/output code: hash order leaks into
+//                            event order and snapshots. Suppress with
+//                            // mihn-check: unordered-ok(<reason>)
+//   D2 nondet-source         std::rand, random_device, wall clocks,
+//                            std::chrono, mt19937, time(...): all
+//                            randomness/time must flow through the seeded
+//                            sources in src/sim/random.* and src/sim/time.*
+//                            (which are exempt). Suppress: nondet-ok(...)
+//   D3 raw-unit-param        double parameters named like units (gbps, bw,
+//                            *_ns, bytes, latency, ...) in public headers:
+//                            use sim::Bandwidth / sim::TimeNs instead.
+//                            src/sim/units.* and src/sim/time.* (the unit
+//                            layer itself) are exempt. Suppress:
+//                            units-ok(...)
+//   D4 float-type/float-eq   `float` anywhere, and ==/!= against a
+//                            floating-point literal (the lexically
+//                            detectable slice of float equality).
+//                            Suppress: float-ok(...) / float-eq-ok(...)
+//   D5 header-hygiene        include guard must be MIHN_<PATH>_ derived
+//                            from the repo-relative path; no
+//                            `using namespace` in headers. Suppress:
+//                            guard-ok(...) / header-ok(...)
+//
+// A suppression annotation must sit on the offending line or on an
+// immediately preceding comment-only line, and must carry a reason in
+// parentheses. Comments and string literals are blanked before rule
+// matching, so mentioning a banned token in prose is fine.
+
+#ifndef MIHN_TOOLS_MIHN_CHECK_CHECKER_H_
+#define MIHN_TOOLS_MIHN_CHECK_CHECKER_H_
+
+#include <string>
+#include <vector>
+
+namespace mihn::check {
+
+struct Finding {
+  std::string file;     // Repo-relative path.
+  int line = 0;         // 1-based.
+  std::string rule;     // e.g. "D1:unordered-container".
+  std::string message;  // What fired and how to fix or suppress it.
+};
+
+// Runs every rule against one file. |rel_path| is the path relative to the
+// repo root (it drives the per-file exemptions and the expected include
+// guard); |content| is the file's full text.
+std::vector<Finding> CheckFile(const std::string& rel_path, const std::string& content);
+
+// Walks |targets| (files or directories, relative to |root|), checking
+// every *.h / *.cc / *.cpp in deterministic path order. Unreadable targets
+// produce a synthetic finding rather than a silent skip.
+std::vector<Finding> CheckTree(const std::string& root, const std::vector<std::string>& targets);
+
+// "path:line: [rule] message" lines plus a summary line.
+std::string FormatFindings(const std::vector<Finding>& findings);
+
+}  // namespace mihn::check
+
+#endif  // MIHN_TOOLS_MIHN_CHECK_CHECKER_H_

@@ -1,0 +1,36 @@
+// CLI driver for mihn-check (see checker.h for the rule catalogue).
+//
+// Usage: mihn_check --root <repo-root> [target ...]
+//
+// Targets are files or directories relative to the root (default: src).
+// Prints findings as "path:line: [rule] message" and exits nonzero when any
+// unsuppressed finding remains — ctest and the static-analysis CI job both
+// gate on that exit code.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "tools/mihn_check/checker.h"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::vector<std::string> targets;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: mihn_check --root <repo-root> [target ...]\n");
+      return 0;
+    } else {
+      targets.emplace_back(argv[i]);
+    }
+  }
+  if (targets.empty()) {
+    targets.emplace_back("src");
+  }
+  const std::vector<mihn::check::Finding> findings = mihn::check::CheckTree(root, targets);
+  std::fputs(mihn::check::FormatFindings(findings).c_str(), stdout);
+  return findings.empty() ? 0 : 1;
+}

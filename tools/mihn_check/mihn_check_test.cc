@@ -1,0 +1,135 @@
+// Self-test for mihn-check: every rule (D1-D5) must both fire on its bad
+// fixture and stay silent on its good fixture (which exercises the
+// suppression annotation). A checker that silently stops firing is worse
+// than no checker — CI would keep reporting a clean tree forever.
+
+#include "tools/mihn_check/checker.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mihn::check {
+namespace {
+
+std::string ReadFixture(const std::string& name) {
+  const std::string path = std::string(MIHN_CHECK_TESTDATA_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// Findings for a fixture, checked under its own filename as the
+// repo-relative path (so D5 expects a MIHN_<FILENAME>_ guard).
+std::vector<Finding> Check(const std::string& name) {
+  return CheckFile(name, ReadFixture(name));
+}
+
+size_t CountRule(const std::vector<Finding>& findings, const std::string& rule) {
+  return static_cast<size_t>(std::count_if(
+      findings.begin(), findings.end(), [&](const Finding& f) { return f.rule == rule; }));
+}
+
+TEST(MihnCheckTest, D1FiresOnUnorderedContainer) {
+  const auto findings = Check("d1_unordered_bad.cc");
+  EXPECT_EQ(CountRule(findings, "D1:unordered-container"), 1u);
+  EXPECT_EQ(findings.size(), 1u);
+}
+
+TEST(MihnCheckTest, D1HonorsSuppressionAndIgnoresComments) {
+  EXPECT_TRUE(Check("d1_unordered_good.cc").empty());
+}
+
+TEST(MihnCheckTest, D2FiresOnNondeterminismSources) {
+  const auto findings = Check("d2_nondet_bad.cc");
+  EXPECT_EQ(CountRule(findings, "D2:nondet-source"), 2u);  // std::rand + system_clock lines.
+  EXPECT_EQ(findings.size(), 2u);
+}
+
+TEST(MihnCheckTest, D2HonorsSuppression) {
+  EXPECT_TRUE(Check("d2_nondet_good.cc").empty());
+}
+
+TEST(MihnCheckTest, D2ExemptsTheSeededSources) {
+  // The same banned content is legal inside the deterministic time/random
+  // implementation files themselves.
+  const std::string content = ReadFixture("d2_nondet_bad.cc");
+  EXPECT_TRUE(CheckFile("src/sim/random.cc", content).empty());
+  EXPECT_TRUE(CheckFile("src/sim/time.cc", content).empty());
+  EXPECT_FALSE(CheckFile("src/sim/simulation.cc", content).empty());
+}
+
+TEST(MihnCheckTest, D3FiresOnRawUnitParamsInHeaders) {
+  const auto findings = Check("d3_units_bad.h");
+  EXPECT_EQ(CountRule(findings, "D3:raw-unit-param"), 3u);  // gbps, delay_ns, bytes.
+  EXPECT_EQ(findings.size(), 3u);
+}
+
+TEST(MihnCheckTest, D3IgnoresMembersAndHonorsSuppression) {
+  EXPECT_TRUE(Check("d3_units_good.h").empty());
+}
+
+TEST(MihnCheckTest, D3OnlyAppliesToHeaders) {
+  // The same text as a .cc file is out of scope: implementation internals
+  // may stage raw doubles; the rule polices API surfaces.
+  EXPECT_TRUE(CheckFile("d3_units_bad.cc", ReadFixture("d3_units_bad.h")).empty());
+}
+
+TEST(MihnCheckTest, D4FiresOnFloatAndFloatEquality) {
+  const auto findings = Check("d4_float_bad.cc");
+  EXPECT_EQ(CountRule(findings, "D4:float-type"), 2u);  // Declaration + static_cast.
+  EXPECT_EQ(CountRule(findings, "D4:float-eq"), 2u);    // == 0.5 and 1.0 !=.
+  EXPECT_EQ(findings.size(), 4u);
+}
+
+TEST(MihnCheckTest, D4HonorsSuppressionsAndAllowsIntEquality) {
+  EXPECT_TRUE(Check("d4_float_good.cc").empty());
+}
+
+TEST(MihnCheckTest, D5FiresOnBadGuardAndUsingNamespace) {
+  const auto findings = Check("d5_header_bad.h");
+  EXPECT_EQ(CountRule(findings, "D5:include-guard"), 1u);
+  EXPECT_EQ(CountRule(findings, "D5:using-namespace"), 1u);
+  EXPECT_EQ(findings.size(), 2u);
+}
+
+TEST(MihnCheckTest, D5AcceptsPathDerivedGuard) {
+  EXPECT_TRUE(Check("d5_header_good.h").empty());
+}
+
+TEST(MihnCheckTest, D5FlagsMissingGuard) {
+  const auto findings = CheckFile("nak.h", "namespace fixture {}\n");
+  EXPECT_EQ(CountRule(findings, "D5:include-guard"), 1u);
+}
+
+TEST(MihnCheckTest, SuppressionRequiresAReason) {
+  // A bare tag without the "(<reason>" opening does not suppress.
+  const auto findings =
+      CheckFile("bare.cc", "std::unordered_map<int, int> m;  // mihn-check: unordered-ok\n");
+  EXPECT_EQ(CountRule(findings, "D1:unordered-container"), 1u);
+}
+
+TEST(MihnCheckTest, FindingsCarryFileLineAndSuppressionHint) {
+  const auto findings = Check("d1_unordered_bad.cc");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "d1_unordered_bad.cc");
+  EXPECT_GT(findings[0].line, 1);
+  EXPECT_NE(findings[0].message.find("unordered-ok"), std::string::npos);
+}
+
+TEST(MihnCheckTest, FormatFindingsSummarizes) {
+  EXPECT_NE(FormatFindings({}).find("clean"), std::string::npos);
+  const auto findings = Check("d5_header_bad.h");
+  const std::string report = FormatFindings(findings);
+  EXPECT_NE(report.find("d5_header_bad.h:"), std::string::npos);
+  EXPECT_NE(report.find("2 unsuppressed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mihn::check

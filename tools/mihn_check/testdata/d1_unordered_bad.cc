@@ -1,0 +1,17 @@
+// Fixture: D1 must fire on an unannotated unordered container.
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+int CountThings() {
+  std::unordered_map<std::string, int> counts;
+  counts["a"] = 1;
+  int total = 0;
+  for (const auto& [key, value] : counts) {
+    total += value;
+  }
+  return total;
+}
+
+}  // namespace fixture

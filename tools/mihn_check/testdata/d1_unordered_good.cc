@@ -1,0 +1,15 @@
+// Fixture: ordered containers and an annotated unordered one are clean.
+// A comment merely mentioning std::unordered_map must not fire either.
+#include <map>
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+std::map<std::string, int> g_sorted;
+// mihn-check: unordered-ok(membership probe only; iteration never observes order)
+std::unordered_map<std::string, int> g_probe;
+
+std::unordered_set<int>* g_inline = nullptr;  // mihn-check: unordered-ok(same-line suppression form)
+
+}  // namespace fixture

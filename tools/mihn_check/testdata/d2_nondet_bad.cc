@@ -1,0 +1,15 @@
+// Fixture: D2 must fire on each nondeterministic randomness/time source.
+#include <chrono>
+#include <cstdlib>
+
+namespace fixture {
+
+int Draw() {
+  return std::rand() % 6;
+}
+
+long NowNanos() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fixture

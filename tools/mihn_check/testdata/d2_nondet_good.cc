@@ -1,0 +1,11 @@
+// Fixture: annotated nondeterminism is allowed; prose mentioning
+// std::rand or system_clock must not fire.
+
+namespace fixture {
+
+unsigned SeedFromEnvironment() {
+  // mihn-check: nondet-ok(one-time seed harvest at process start, logged for replay)
+  return static_cast<unsigned>(time(nullptr));
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: D3 must fire on raw double parameters whose names imply units.
+
+#ifndef MIHN_D3_UNITS_BAD_H_
+#define MIHN_D3_UNITS_BAD_H_
+
+namespace fixture {
+
+class LinkConfigurator {
+ public:
+  void SetCapacity(double gbps);
+  void SetBaseDelay(double delay_ns);
+  void SetBudget(double bytes, int priority);
+};
+
+}  // namespace fixture
+
+#endif  // MIHN_D3_UNITS_BAD_H_

@@ -1,0 +1,27 @@
+// Fixture: strong unit types, dimensionless doubles, unit-named struct
+// members (not parameters), and an annotated legacy double are all clean.
+
+#ifndef MIHN_D3_UNITS_GOOD_H_
+#define MIHN_D3_UNITS_GOOD_H_
+
+namespace fixture {
+
+class Bandwidth;
+class TimeNs;
+
+struct Snapshot {
+  double rate_bps = 0.0;  // Member, not a parameter: telemetry views stay POD.
+};
+
+class LinkConfigurator {
+ public:
+  void SetCapacity(Bandwidth bw);
+  void SetBaseDelay(TimeNs delay);
+  void SetWeight(double weight);
+  // mihn-check: units-ok(wire-format shim; converts to Bandwidth on entry)
+  void SetCapacityLegacy(double gbps);
+};
+
+}  // namespace fixture
+
+#endif  // MIHN_D3_UNITS_GOOD_H_

@@ -1,0 +1,17 @@
+// Fixture: D4 must fire on float types and on ==/!= against float literals.
+
+namespace fixture {
+
+float Halve(double x) {
+  return static_cast<float>(x / 2.0);
+}
+
+bool AtHalf(double x) {
+  return x == 0.5;
+}
+
+bool NotOne(double x) {
+  return 1.0 != x;
+}
+
+}  // namespace fixture

@@ -1,0 +1,23 @@
+// Fixture: doubles, tolerance comparisons, annotated exact equality, and
+// integer ==/!= comparisons are all clean. (A comment saying x == 1.5 is
+// fine too.)
+#include <cmath>
+
+namespace fixture {
+
+// mihn-check: float-ok(GPU interop buffer requires 32-bit storage)
+float g_gpu_scratch = 0.0F;
+
+bool NearHalf(double x) {
+  return std::abs(x - 0.5) < 1e-9;
+}
+
+bool ExactlyDrained(double weight) {
+  return weight == 0.0;  // mihn-check: float-eq-ok(exact zero is the drained sentinel)
+}
+
+bool IsDefaultCount(int n) {
+  return n == 64;
+}
+
+}  // namespace fixture

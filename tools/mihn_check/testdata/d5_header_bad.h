@@ -1,0 +1,17 @@
+// Fixture: D5 must fire on a guard that does not match the path and on
+// `using namespace` in a header.
+
+#ifndef SOME_WRONG_GUARD_H
+#define SOME_WRONG_GUARD_H
+
+#include <string>
+
+using namespace std;
+
+namespace fixture {
+
+string Name();
+
+}  // namespace fixture
+
+#endif  // SOME_WRONG_GUARD_H

@@ -1,0 +1,14 @@
+// Fixture: path-derived include guard, fully qualified names: clean.
+
+#ifndef MIHN_D5_HEADER_GOOD_H_
+#define MIHN_D5_HEADER_GOOD_H_
+
+#include <string>
+
+namespace fixture {
+
+std::string Name();
+
+}  // namespace fixture
+
+#endif  // MIHN_D5_HEADER_GOOD_H_
