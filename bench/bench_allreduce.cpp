@@ -21,8 +21,7 @@ struct RingResult {
 RingResult RunRing(const std::vector<topology::ComponentId>& gpus, bool with_interference) {
   HostNetwork::Options options;
   options.preset = HostNetwork::Preset::kDgxClass;
-  options.start_collector = false;
-  options.start_manager = false;
+  options.autostart = HostNetwork::Autostart::kNone;
   HostNetwork host(options);
 
   // Remap GPU indices onto this instance's components.

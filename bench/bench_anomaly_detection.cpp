@@ -29,8 +29,7 @@ struct Outcome {
 
 Outcome RunCase(const fabric::LinkFault& fault) {
   HostNetwork::Options options;
-  options.start_manager = false;
-  options.start_collector = false;
+  options.autostart = HostNetwork::Autostart::kNone;
   HostNetwork host(options);
   const auto& server = host.server();
 

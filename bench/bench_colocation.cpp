@@ -21,8 +21,7 @@ struct PhaseResult {
 
 PhaseResult RunPhase(bool trainer_on, double pace_gbps) {
   HostNetwork::Options options;
-  options.start_collector = false;
-  options.start_manager = false;
+  options.autostart = HostNetwork::Autostart::kNone;
   HostNetwork host(options);
   const auto& server = host.server();
 

@@ -7,7 +7,7 @@
 
 #include "bench/bench_util.h"
 #include "src/core/host_network.h"
-#include "src/diagnose/tools.h"
+#include "src/diagnose/session.h"
 #include "src/workload/sources.h"
 
 int main() {
@@ -21,8 +21,7 @@ int main() {
   // 40 GB/s memory bus so two PCIe-speed writers genuinely contend on it.
   spec.intra_socket.capacity = sim::Bandwidth::GBps(40);
   HostNetwork::Options options;
-  options.start_collector = false;
-  options.start_manager = false;
+  options.autostart = HostNetwork::Autostart::kNone;
   HostNetwork host(topology::BuildServer(spec), options);
   const auto& server = host.server();
 
@@ -39,9 +38,9 @@ int main() {
       {"GPU -> CXL memory", server.gpus[0], server.cxl_memories[0]},
   };
   for (const Probe& p : probes) {
-    const auto ping = diagnose::PingNow(host.fabric(), p.src, p.dst, 0);
-    const auto perf = diagnose::PerfNow(host.fabric(), p.src, p.dst);
-    table.Row({p.label, bench::Fmt("%zu", ping.path.hops.size()),
+    const auto ping = host.diagnose().Ping(p.src, p.dst, 0);
+    const auto perf = host.diagnose().Perf(p.src, p.dst);
+    table.Row({p.label, bench::Fmt("%zu", ping.probe.path.hops.size()),
                ping.latency.ToString(), bench::Fmt("%.1f GB/s", perf.initial_rate.ToGBps())});
   }
 

@@ -32,8 +32,7 @@ int main() {
     spec.root_ports_per_socket = 3;
     spec.intra_socket.capacity = sim::Bandwidth::GBps(40);
     HostNetwork::Options options;
-    options.start_collector = false;
-    options.start_manager = false;
+    options.autostart = HostNetwork::Autostart::kNone;
     options.fabric.ddio_enabled = ways > 0;
     options.fabric.ddio_ways = std::max(ways, 1);
     options.fabric.way_bytes = 256 * 1024;

@@ -22,8 +22,7 @@ struct TrialOutcome {
 TrialOutcome RunTrial(uint64_t seed, bool inject_fault) {
   HostNetwork::Options options;
   options.seed = seed;
-  options.start_collector = false;
-  options.start_manager = false;
+  options.autostart = HostNetwork::Autostart::kNone;
   HostNetwork host(options);
   const auto& server = host.server();
   sim::Rng rng = host.simulation().ForkRng(999);

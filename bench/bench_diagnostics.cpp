@@ -5,7 +5,7 @@
 
 #include "bench/bench_util.h"
 #include "src/core/host_network.h"
-#include "src/diagnose/tools.h"
+#include "src/diagnose/session.h"
 
 int main() {
   using namespace mihn;
@@ -14,8 +14,7 @@ int main() {
                 "competing flows");
 
   HostNetwork::Options options;
-  options.start_collector = false;
-  options.start_manager = false;
+  options.autostart = HostNetwork::Autostart::kNone;
   HostNetwork host(options);
   const auto& server = host.server();
 
@@ -32,8 +31,8 @@ int main() {
       {"nic0 -> gpu0", server.nics[0], server.gpus[0]},
   };
   for (const Pair& p : pairs) {
-    const auto trace = diagnose::Trace(host.fabric(), p.src, p.dst);
-    const auto truth = host.fabric().ProbePathLatency(trace.path);
+    const auto trace = host.diagnose().Trace(p.src, p.dst);
+    const auto truth = host.fabric().ProbePathLatency(trace.probe.path);
     trace_table.Row({p.label, bench::Fmt("%zu", trace.hops.size()),
                      trace.total_current.ToString(), truth.ToString(),
                      trace.total_current == truth ? "exact" : "MISMATCH"});
@@ -52,7 +51,7 @@ int main() {
   std::vector<fabric::FlowId> competitors;
   for (int k = 0; k <= 4; ++k) {
     const double analytic = cap / (k + 1);
-    const auto perf = diagnose::PerfNow(host.fabric(), server.ssds[0], server.dimms[0]);
+    const auto perf = host.diagnose().Perf(server.ssds[0], server.dimms[0]);
     const double measured = perf.initial_rate.ToGBps();
     perf_table.Row({bench::Fmt("%d", k), bench::Fmt("%.2f", analytic),
                     bench::Fmt("%.2f", measured),
@@ -67,11 +66,11 @@ int main() {
 
   // --- hostping under a known fault: measured delta equals injected. ---
   std::printf("\n");
-  const auto before = diagnose::PingNow(host.fabric(), server.nics[0], server.sockets[0]);
+  const auto before = host.diagnose().Ping(server.nics[0], server.sockets[0]);
   const auto path = *host.fabric().Route(server.nics[0], server.sockets[0]);
   host.fabric().InjectLinkFault(path.hops[1].link,
                                 fabric::LinkFault{1.0, sim::TimeNs::Micros(3)});
-  const auto after = diagnose::PingNow(host.fabric(), server.nics[0], server.sockets[0]);
+  const auto after = host.diagnose().Ping(server.nics[0], server.sockets[0]);
   std::printf("hostping fault sensitivity: before=%s after=%s delta=%s (injected 3us)\n",
               before.latency.ToString().c_str(), after.latency.ToString().c_str(),
               (after.latency - before.latency).ToString().c_str());

@@ -6,7 +6,7 @@
 
 #include "bench/bench_util.h"
 #include "src/core/host_network.h"
-#include "src/diagnose/tools.h"
+#include "src/diagnose/session.h"
 #include "src/workload/sources.h"
 
 namespace {
@@ -35,7 +35,7 @@ Decomposition Measure(HostNetwork& host, bool congested) {
     aggressor = std::make_unique<workload::StreamSource>(host.fabric(), bulk);
     aggressor->Start();
   }
-  const auto trace = diagnose::Trace(host.fabric(), server.external_hosts[0], server.dimms[0]);
+  const auto trace = host.diagnose().Trace(server.external_hosts[0], server.dimms[0]);
   Decomposition d;
   d.total = trace.total_current;
   d.intra = sim::TimeNs::Zero();
@@ -80,8 +80,7 @@ int main() {
     spec.inter_host.base_latency = era.inter_host_latency;
     spec.inter_host.capacity = sim::Bandwidth::Gbps(era.inter_host_gbps);
     HostNetwork::Options options;
-    options.start_collector = false;
-    options.start_manager = false;
+    options.autostart = HostNetwork::Autostart::kNone;
     HostNetwork host(topology::BuildServer(spec), options);
 
     const Decomposition unloaded = Measure(host, false);

@@ -9,7 +9,7 @@
 
 #include "bench/bench_util.h"
 #include "src/core/host_network.h"
-#include "src/diagnose/tools.h"
+#include "src/diagnose/session.h"
 
 namespace {
 
@@ -51,17 +51,17 @@ std::optional<Measured> MeasureClass(HostNetwork& host, topology::LinkKind kind)
   }
   const topology::Link& link = host.topo().link(links.front());
   Measured m;
-  const auto perf = diagnose::PerfNow(host.fabric(), link.a, link.b);
+  const auto perf = host.diagnose().Perf(link.a, link.b);
   m.capacity_gbps = perf.initial_rate.ToGbps();
   // Zero-byte latency: pure propagation + processing, no serialization.
   m.latency_ns = static_cast<double>(
-      diagnose::PingNow(host.fabric(), link.a, link.b, /*probe_bytes=*/0).latency.nanos());
+      host.diagnose().Ping(link.a, link.b, /*probe_bytes=*/0).latency.nanos());
   // Ablation: the same hop while saturated.
   fabric::FlowSpec load;
   load.path = *host.fabric().Route(link.a, link.b);
   const fabric::FlowId id = host.fabric().StartFlow(load);
   m.loaded_latency_ns = static_cast<double>(
-      diagnose::PingNow(host.fabric(), link.a, link.b, 0).latency.nanos());
+      host.diagnose().Ping(link.a, link.b, 0).latency.nanos());
   host.fabric().StopFlow(id);
   return m;
 }
@@ -74,8 +74,7 @@ int main() {
                 "hostperf/hostping vs the paper's published ranges");
 
   HostNetwork::Options options;
-  options.start_collector = false;
-  options.start_manager = false;
+  options.autostart = HostNetwork::Autostart::kNone;
   HostNetwork host(options);
 
   bench::Table table({{"class", 7},
@@ -115,9 +114,9 @@ int main() {
   // The end-to-end sum the paper describes: a remote RDMA access traversing
   // classes (5)(4)(3)(2).
   const auto& server = host.server();
-  const auto e2e = diagnose::PingNow(host.fabric(), server.external_hosts[0], server.dimms[0], 0);
+  const auto e2e = host.diagnose().Ping(server.external_hosts[0], server.dimms[0], 0);
   std::printf("\nend-to-end remote->DIMM basic latency (classes 5+4+3+2): %s over %zu hops\n",
-              e2e.latency.ToString().c_str(), e2e.path.hops.size());
+              e2e.latency.ToString().c_str(), e2e.probe.path.hops.size());
   std::printf("%s\n", failures == 0 ? "ALL CLASSES WITHIN PAPER RANGES"
                                     : bench::Fmt("%d CLASS(ES) OUT OF RANGE", failures).c_str());
   return 0;

@@ -19,8 +19,7 @@ struct TenantRates {
 
 TenantRates RunMode(manager::ManagerConfig::Mode mode) {
   HostNetwork::Options options;
-  options.start_collector = false;
-  options.start_manager = false;
+  options.autostart = HostNetwork::Autostart::kNone;
   options.manager.mode = mode;
   HostNetwork host(options);
   const auto& server = host.server();
@@ -117,8 +116,7 @@ int main() {
       {{"quantum", 10}, {"alice mean GB/s", 17}, {"SLO held", 10}, {"arbitrations", 14}});
   for (const int64_t quantum_us : {10'000LL, 1'000LL, 100LL, 10LL}) {
     HostNetwork::Options options;
-    options.start_collector = false;
-    options.start_manager = false;
+    options.autostart = HostNetwork::Autostart::kNone;
     options.manager.mode = manager::ManagerConfig::Mode::kStatic;
     options.manager.arbiter_quantum = sim::TimeNs::Micros(quantum_us);
     HostNetwork host(options);

@@ -22,8 +22,7 @@ int main() {
 
   for (const double loopback_gbps : {0.0, 4.0, 8.0, 16.0, 24.0, 64.0}) {
     HostNetwork::Options options;
-    options.start_collector = false;
-    options.start_manager = false;
+    options.autostart = HostNetwork::Autostart::kNone;
     HostNetwork host(options);
     const auto& server = host.server();
 

@@ -7,7 +7,6 @@
 #include <benchmark/benchmark.h>
 
 #include "src/core/host_network.h"
-#include "src/diagnose/tools.h"
 #include "src/fabric/max_min.h"
 #include "src/workload/sources.h"
 
@@ -17,8 +16,7 @@ using namespace mihn;
 
 HostNetwork::Options Quiet() {
   HostNetwork::Options options;
-  options.start_collector = false;
-  options.start_manager = false;
+  options.autostart = HostNetwork::Autostart::kNone;
   return options;
 }
 
@@ -106,6 +104,7 @@ BENCHMARK(BM_ArbitrateOnce)->Arg(4)->Arg(16)->Arg(64);
 
 void BM_MaxMinSolve(benchmark::State& state) {
   const int flows = static_cast<int>(state.range(0));
+  fabric::MaxMinSolver solver;
   sim::Rng rng(7);
   std::vector<fabric::MaxMinFlow> input(static_cast<size_t>(flows));
   std::vector<double> caps(64);
@@ -120,7 +119,7 @@ void BM_MaxMinSolve(benchmark::State& state) {
     }
   }
   for (auto _ : state) {
-    benchmark::DoNotOptimize(fabric::SolveMaxMin(input, caps));
+    benchmark::DoNotOptimize(solver.Solve(input, caps));
   }
 }
 BENCHMARK(BM_MaxMinSolve)->Arg(16)->Arg(64)->Arg(256);
@@ -152,8 +151,8 @@ BENCHMARK(BM_ProbePathLatency);
 void BM_HostTrace(benchmark::State& state) {
   HostNetwork host(Quiet());
   for (auto _ : state) {
-    benchmark::DoNotOptimize(diagnose::Trace(host.fabric(), host.server().external_hosts[0],
-                                             host.server().dimms[0]));
+    benchmark::DoNotOptimize(host.diagnose().Trace(host.server().external_hosts[0],
+                                                   host.server().dimms[0]));
   }
 }
 BENCHMARK(BM_HostTrace);

@@ -23,7 +23,7 @@ int main() {
 
   for (const int64_t period_us : {100'000LL, 10'000LL, 1'000LL, 100LL, 10LL}) {
     HostNetwork::Options options;
-    options.start_manager = false;
+    options.autostart = HostNetwork::Autostart::kCollectorOnly;
     options.telemetry.period = sim::TimeNs::Micros(period_us);
     options.telemetry.series_capacity = 1024;
     HostNetwork host(options);  // Collector auto-starts, reporting to the store.

@@ -23,8 +23,7 @@ struct ModelOutcome {
 
 ModelOutcome RunModel(manager::ResourceModel model, int targets, double target_gbps) {
   HostNetwork::Options options;
-  options.start_collector = false;
-  options.start_manager = false;
+  options.autostart = HostNetwork::Autostart::kNone;
   options.manager.mode = manager::ManagerConfig::Mode::kStatic;
   HostNetwork host(options);
   const auto& server = host.server();

@@ -30,8 +30,7 @@ PlacementOutcome RunPlacement(bool topology_aware, int jobs, double job_gbps) {
   spec.inter_socket_links = 4;
   spec.inter_socket.capacity = sim::Bandwidth::GBps(20);
   HostNetwork::Options options;
-  options.start_collector = false;
-  options.start_manager = false;
+  options.autostart = HostNetwork::Autostart::kNone;
   options.manager.scheduler.topology_aware = topology_aware;
   options.manager.scheduler.k_paths = 8;
   HostNetwork host(topology::BuildServer(spec), options);

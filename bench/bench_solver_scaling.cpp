@@ -6,7 +6,9 @@
 // single-flow demand mutation — the fabric's steady-state event pattern
 // (StartFlow / StopFlow / SetFlowLimit each trigger one solve). Emits
 // machine-readable BENCH_solver.json in the working directory so the perf
-// trajectory is tracked across PRs.
+// trajectory is tracked across PRs, plus TRACE_solver.json — a wall-clock
+// (profiling-mode) mihn_obs trace of the run, loadable in chrome://tracing
+// or Perfetto to see where the bench spends its time.
 
 #include <chrono>
 #include <cinttypes>
@@ -17,6 +19,8 @@
 
 #include "bench/bench_util.h"
 #include "src/fabric/max_min.h"
+#include "src/obs/export.h"
+#include "src/obs/tracer.h"
 #include "src/sim/random.h"
 
 namespace mihn {
@@ -119,6 +123,15 @@ int main() {
                       {"speedup", 10},
                       {"identical", 10}});
 
+  // Standalone profiling tracer (no simulation bound): spans carry
+  // wall-clock stamps, laid out on the real timeline. The spans wrap whole
+  // measurement phases, outside the timed regions, so they cost the
+  // benchmark nothing.
+  obs::TraceConfig trace_config;
+  trace_config.enabled = true;
+  trace_config.profiling = true;
+  obs::Tracer tracer(trace_config);
+
   std::vector<Result> results;
   MaxMinSolver solver;
   for (const size_t num_flows : {100u, 1000u, 10000u}) {
@@ -147,11 +160,24 @@ int main() {
         ChurnSolver(w, 1, warm, solver);
       }
 
-      const double t0 = NowSec();
-      const double cs_ref = ChurnReference(inst_ref, iters, rng_ref);
-      const double t1 = NowSec();
-      const double cs_new = ChurnSolver(inst_new, iters, rng_new, solver);
-      const double t2 = NowSec();
+      double t0 = 0, t1 = 0, t2 = 0, cs_ref = 0, cs_new = 0;
+      {
+        MIHN_TRACE_SPAN(ref_span, &tracer, "solver", "churn.reference");
+        ref_span.Arg("flows", static_cast<double>(num_flows));
+        ref_span.Arg("links", static_cast<double>(num_links));
+        ref_span.Arg("iters", static_cast<double>(iters));
+        t0 = NowSec();
+        cs_ref = ChurnReference(inst_ref, iters, rng_ref);
+        t1 = NowSec();
+      }
+      {
+        MIHN_TRACE_SPAN(new_span, &tracer, "solver", "churn.solver");
+        new_span.Arg("flows", static_cast<double>(num_flows));
+        new_span.Arg("links", static_cast<double>(num_links));
+        new_span.Arg("iters", static_cast<double>(iters));
+        cs_new = ChurnSolver(inst_new, iters, rng_new, solver);
+        t2 = NowSec();
+      }
       // Same mutation stream on both sides -> identical checksums expected.
       if (cs_ref != cs_new) {
         identical = false;
@@ -166,6 +192,8 @@ int main() {
       r.speedup = r.ref_ns_per_solve / r.solver_ns_per_solve;
       r.identical = identical;
       results.push_back(r);
+      MIHN_TRACE_COUNTER(&tracer, "solver", "solver.ns_per_solve", r.solver_ns_per_solve);
+      MIHN_TRACE_COUNTER(&tracer, "solver", "solver.speedup", r.speedup);
 
       table.Row({std::to_string(num_flows), std::to_string(num_links), std::to_string(iters),
                  bench::Fmt("%.1f", r.ref_ns_per_solve / 1e3),
@@ -191,6 +219,9 @@ int main() {
     std::fprintf(json, "  ]\n}\n");
     std::fclose(json);
     std::printf("\nwrote BENCH_solver.json\n");
+  }
+  if (obs::WriteChromeTraceFile(tracer, "TRACE_solver.json")) {
+    std::printf("wrote TRACE_solver.json (open in chrome://tracing or ui.perfetto.dev)\n");
   }
 
   bool all_identical = true;

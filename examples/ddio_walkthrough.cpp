@@ -8,7 +8,7 @@
 #include <cstdio>
 
 #include "src/core/host_network.h"
-#include "src/diagnose/tools.h"
+#include "src/diagnose/session.h"
 #include "src/workload/sources.h"
 
 int main() {
@@ -71,9 +71,7 @@ int main() {
   diagnose::FlowFilter spill_only;
   spill_only.klass = fabric::TrafficClass::kSpill;
   std::printf("\n== hostshark: spill flows ==\n%s",
-              diagnose::RenderFlows(host.fabric(),
-                                    diagnose::CaptureFlows(host.fabric(), spill_only))
-                  .c_str());
+              host.diagnose().Render(host.diagnose().Capture(spill_only)).c_str());
 
   // Remediation: double the DDIO ways and watch the spill collapse.
   fabric::FabricConfig bigger = host.fabric().config();

@@ -22,7 +22,7 @@
 
 #include "src/anomaly/misconfig.h"
 #include "src/core/host_network.h"
-#include "src/diagnose/tools.h"
+#include "src/diagnose/session.h"
 #include "src/topology/serialize.h"
 
 namespace {
@@ -64,8 +64,7 @@ int main(int argc, char** argv) {
 
   // Build the host: preset, or a user-described topology.
   HostNetwork::Options options;
-  options.start_collector = false;
-  options.start_manager = false;
+  options.autostart = HostNetwork::Autostart::kNone;
   std::unique_ptr<HostNetwork> host;
   if (topo_file.empty()) {
     host = std::make_unique<HostNetwork>(options);
@@ -114,25 +113,26 @@ int main(int argc, char** argv) {
   const topology::ComponentId src = Resolve(topo, argv[arg]);
   const topology::ComponentId dst = Resolve(topo, argv[arg + 1]);
 
+  diagnose::Session& dx = host->diagnose();
   if (command == "ping") {
-    const auto result = diagnose::PingNow(host->fabric(), src, dst);
-    if (!result.reachable) {
+    const auto result = dx.Ping(src, dst);
+    if (!result.probe.reachable) {
       std::printf("unreachable\n");
       return 1;
     }
     std::printf("%s -> %s: %s over %zu hops (%s)\n", argv[arg], argv[arg + 1],
-                result.latency.ToString().c_str(), result.path.hops.size(),
-                result.path.ToString(topo).c_str());
+                result.latency.ToString().c_str(), result.probe.path.hops.size(),
+                result.probe.path.ToString(topo).c_str());
     return 0;
   }
   if (command == "trace") {
-    const auto trace = diagnose::Trace(host->fabric(), src, dst);
-    std::printf("%s", RenderTrace(host->fabric(), trace).c_str());
-    return trace.reachable ? 0 : 1;
+    const auto trace = dx.Trace(src, dst);
+    std::printf("%s", dx.Render(trace).c_str());
+    return trace.probe.reachable ? 0 : 1;
   }
   if (command == "perf") {
-    const auto result = diagnose::PerfNow(host->fabric(), src, dst);
-    if (!result.reachable) {
+    const auto result = dx.Perf(src, dst);
+    if (!result.probe.reachable) {
       std::printf("unreachable\n");
       return 1;
     }
@@ -147,12 +147,11 @@ int main(int argc, char** argv) {
       return 1;
     }
     const topology::LinkId victim = path->hops[path->hops.size() / 2].link;
-    std::printf("== healthy ==\n%s",
-                RenderTrace(host->fabric(), diagnose::Trace(host->fabric(), src, dst)).c_str());
+    std::printf("== healthy ==\n%s", dx.Render(dx.Trace(src, dst)).c_str());
     host->fabric().InjectLinkFault(victim,
                                    fabric::LinkFault{0.5, sim::TimeNs::Micros(2)});
     std::printf("\n== after silent fault on link %d (50%% capacity, +2us) ==\n%s", victim,
-                RenderTrace(host->fabric(), diagnose::Trace(host->fabric(), src, dst)).c_str());
+                dx.Render(dx.Trace(src, dst)).c_str());
     return 0;
   }
   return Usage();

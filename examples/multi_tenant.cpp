@@ -22,7 +22,7 @@ struct Scenario {
 void Run(manager::ManagerConfig::Mode mode) {
   HostNetwork::Options options;
   options.manager.mode = mode;
-  options.start_manager = false;  // We drive arbitration explicitly below.
+  options.autostart = HostNetwork::Autostart::kCollectorOnly;  // We drive arbitration explicitly below.
   HostNetwork host(options);
   const auto& server = host.server();
   auto& mgr = host.manager();

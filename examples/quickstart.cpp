@@ -1,25 +1,32 @@
 // Quickstart: build a managed two-socket server, run two co-located
 // workloads, and look at what the manageability layer can tell you.
 //
-//   $ ./quickstart
+//   $ ./quickstart [--trace]
 //
 // Walks through: topology, workloads, telemetry, hosttrace, and congestion
-// root-cause — the 5-minute tour of the library.
+// root-cause — the 5-minute tour of the library. With --trace, the run is
+// recorded by mihn_obs and written to TRACE_quickstart.json, loadable in
+// chrome://tracing or https://ui.perfetto.dev.
 
 #include <cstdio>
+#include <cstring>
 
 #include "src/anomaly/root_cause.h"
 #include "src/core/host_network.h"
-#include "src/diagnose/tools.h"
+#include "src/obs/export.h"
 #include "src/workload/kv_client.h"
 #include "src/workload/ml_trainer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mihn;
+
+  const bool tracing = argc > 1 && std::strcmp(argv[1], "--trace") == 0;
 
   // 1. A commodity two-socket server (Figure 1 of the paper): sockets,
   //    memory, PCIe switches, NICs, GPUs, SSDs, remote peers.
-  HostNetwork host;
+  HostNetwork::Options options;
+  options.trace.enabled = tracing;
+  HostNetwork host(options);
   std::printf("== topology ==\n%s\n", host.topo().Describe().c_str());
 
   const auto& server = host.server();
@@ -53,10 +60,8 @@ int main() {
               trainer.load_bandwidth_gbps().Summary("GB/s").c_str());
 
   // 3. Diagnostics: per-hop latency breakdown of the KV request path.
-  const auto trace =
-      diagnose::Trace(host.fabric(), server.external_hosts[0], server.sockets[0]);
-  std::printf("== hosttrace remote0 -> s0 ==\n%s",
-              diagnose::RenderTrace(host.fabric(), trace).c_str());
+  const auto trace = host.diagnose().Trace(server.external_hosts[0], server.sockets[0]);
+  std::printf("== hosttrace remote0 -> s0 ==\n%s", host.diagnose().Render(trace).c_str());
 
   // 4. Root cause: who is congesting what?
   anomaly::RootCauseAnalyzer analyzer(host.fabric(), 0.8);
@@ -72,5 +77,14 @@ int main() {
               static_cast<unsigned long long>(host.collector().samples_taken()),
               host.collector().series_count(),
               static_cast<double>(host.collector().bytes_reported()) / 1024.0);
+
+  // 6. Observability: everything above was traced (spans for every sim
+  //    event, fabric solve, and telemetry tick). Export for Perfetto.
+  if (tracing) {
+    std::printf("== trace ==\n%s", obs::Summary(host.tracer()).c_str());
+    if (obs::WriteChromeTraceFile(host.tracer(), "TRACE_quickstart.json")) {
+      std::printf("wrote TRACE_quickstart.json (open in chrome://tracing or ui.perfetto.dev)\n");
+    }
+  }
   return 0;
 }

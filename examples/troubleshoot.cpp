@@ -8,7 +8,7 @@
 
 #include "src/anomaly/misconfig.h"
 #include "src/core/host_network.h"
-#include "src/diagnose/tools.h"
+#include "src/diagnose/session.h"
 #include "src/workload/sources.h"
 
 int main() {
@@ -69,8 +69,8 @@ int main() {
 
   // Confirmation: hosttrace the degraded path.
   std::printf("\n== hosttrace nic0 -> s0 ==\n%s",
-              RenderTrace(host.fabric(),
-                          diagnose::Trace(host.fabric(), server.nics[0], server.sockets[0]))
+              host.diagnose()
+                  .Render(host.diagnose().Trace(server.nics[0], server.sockets[0]))
                   .c_str());
 
   // And a config sanity pass while we are here.

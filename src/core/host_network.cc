@@ -25,18 +25,27 @@ HostNetwork::HostNetwork(Options options) : HostNetwork(BuildPreset(options.pres
 
 HostNetwork::HostNetwork(topology::Server server, Options options)
     : sim_(options.seed), server_(std::move(server)) {
+  tracer_ = std::make_unique<obs::Tracer>(options.trace, &sim_);
+  if (tracer_->enabled()) {
+    sim_observer_ = std::make_unique<obs::SimTraceObserver>(tracer_.get());
+    sim_.SetEventObserver(sim_observer_.get());
+  }
   fabric_ = std::make_unique<fabric::Fabric>(sim_, server_.topo, options.fabric);
-  if (options.report_telemetry_to_store &&
+  fabric_->set_tracer(tracer_.get());
+  if (options.autostart != Autostart::kAllUnreported &&
       options.telemetry.report_to == topology::kInvalidComponent &&
       server_.monitor_store != topology::kInvalidComponent) {
     options.telemetry.report_to = server_.monitor_store;
   }
   collector_ = std::make_unique<telemetry::Collector>(*fabric_, options.telemetry);
   manager_ = std::make_unique<manager::Manager>(*fabric_, options.manager);
-  if (options.start_collector) {
+  diagnose_ = std::make_unique<diagnose::Session>(*fabric_);
+  if (options.autostart == Autostart::kCollectorOnly || options.autostart == Autostart::kAll ||
+      options.autostart == Autostart::kAllUnreported) {
     collector_->Start();
   }
-  if (options.start_manager) {
+  if (options.autostart == Autostart::kManagerOnly || options.autostart == Autostart::kAll ||
+      options.autostart == Autostart::kAllUnreported) {
     manager_->Start();
   }
 }

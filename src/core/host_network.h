@@ -15,8 +15,11 @@
 #include <vector>
 
 #include "src/anomaly/heartbeat.h"
+#include "src/diagnose/session.h"
 #include "src/fabric/fabric.h"
 #include "src/manager/manager.h"
+#include "src/obs/sim_trace.h"
+#include "src/obs/tracer.h"
 #include "src/sim/simulation.h"
 #include "src/telemetry/collector.h"
 #include "src/topology/presets.h"
@@ -27,18 +30,34 @@ class HostNetwork {
  public:
   enum class Preset { kCommodityTwoSocket, kDgxClass, kEdgeNode };
 
+  // Which manageability services the constructor starts. Replaces the old
+  // trio of bools (start_collector / start_manager /
+  // report_telemetry_to_store); anything not auto-started here can be
+  // started later via StartCollector() / StartManager().
+  enum class Autostart {
+    // Nothing runs until explicitly started. Telemetry reporting to the
+    // monitor store is still wired, so a later StartCollector() reports.
+    kNone,
+    kCollectorOnly,
+    kManagerOnly,
+    // Collector + manager (the default, matching a managed production host).
+    kAll,
+    // kAll, but telemetry is processed in place: no reporting traffic to
+    // the monitor store (the old report_telemetry_to_store=false).
+    kAllUnreported,
+  };
+
   struct Options {
     Preset preset = Preset::kCommodityTwoSocket;
     uint64_t seed = 1;
     fabric::FabricConfig fabric;
     manager::ManagerConfig manager;
     telemetry::Collector::Config telemetry;
-    // Ship telemetry to the topology's monitor store (models the §3.1 Q2
-    // self-cost). Ignored when the topology has none or telemetry.report_to
-    // is already set.
-    bool report_telemetry_to_store = true;
-    bool start_collector = true;
-    bool start_manager = true;
+    Autostart autostart = Autostart::kAll;
+    // Tracing (spans + counters across sim/fabric/manager/telemetry/
+    // diagnose). Disabled by default: zero allocation, one branch per
+    // instrumentation site.
+    obs::TraceConfig trace;
   };
 
   // Builds the default preset server with default options.
@@ -59,6 +78,18 @@ class HostNetwork {
   telemetry::Collector& collector() { return *collector_; }
   manager::Manager& manager() { return *manager_; }
 
+  // The network's tracer (inert unless Options::trace.enabled). Export via
+  // obs::WriteChromeTraceFile(net.tracer(), "trace.json").
+  obs::Tracer& tracer() { return *tracer_; }
+
+  // The diagnostic toolbox, pre-bound to this network's fabric.
+  diagnose::Session& diagnose() { return *diagnose_; }
+
+  // -- Service control --------------------------------------------------------------
+  // Idempotent; for services not covered by Options::autostart.
+  void StartCollector() { collector_->Start(); }
+  void StartManager() { manager_->Start(); }
+
   // -- Conveniences ----------------------------------------------------------------
   sim::TimeNs Now() const { return sim_.Now(); }
   sim::TimeNs RunFor(sim::TimeNs duration) { return sim_.RunFor(duration); }
@@ -75,9 +106,12 @@ class HostNetwork {
  private:
   sim::Simulation sim_;
   topology::Server server_;
+  std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::SimTraceObserver> sim_observer_;  // Only when tracing.
   std::unique_ptr<fabric::Fabric> fabric_;
   std::unique_ptr<telemetry::Collector> collector_;
   std::unique_ptr<manager::Manager> manager_;
+  std::unique_ptr<diagnose::Session> diagnose_;
 };
 
 }  // namespace mihn

@@ -1,248 +1,96 @@
+// Legacy wrappers: each constructs a transient Session (it holds only the
+// fabric reference, so this is free) and flattens the report back into the
+// pre-Session struct. This file intentionally calls only the new API — the
+// old implementations moved to session.cc.
+
 #include "src/diagnose/tools.h"
 
-#include <algorithm>
-#include <memory>
-#include <sstream>
 #include <utility>
+
+#include "src/diagnose/session.h"
+
+// This translation unit exists to *implement* the deprecated API.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace mihn::diagnose {
 
-// -- HostPing -----------------------------------------------------------------
-
 PingResult PingNow(fabric::Fabric& fabric, topology::ComponentId src,
                    topology::ComponentId dst, int64_t probe_bytes) {
+  PingReport report = Session(fabric).Ping(src, dst, probe_bytes);
   PingResult result;
-  auto path = fabric.Route(src, dst);
-  if (!path) {
-    return result;
-  }
-  result.reachable = true;
-  result.path = std::move(*path);
-  // Latency + serialization, identical to what SendPacket would charge, but
-  // without injecting the probe into the counters.
-  sim::TimeNs latency = fabric.ProbePathLatency(result.path);
-  for (const topology::DirectedLink& hop : result.path.hops) {
-    const sim::Bandwidth cap = fabric.EffectiveCapacity(hop);
-    if (!cap.IsZero()) {
-      latency += cap.TransferTime(probe_bytes);
-    }
-  }
-  result.latency = latency;
+  result.reachable = report.probe.reachable;
+  result.latency = report.latency;
+  result.path = std::move(report.probe.path);
   return result;
 }
-
-namespace {
-
-struct PingSeriesState {
-  sim::Histogram latency_us;
-  int remaining = 0;
-  topology::Path path;
-  sim::TimeNs interval;
-  int64_t probe_bytes = 0;
-  std::function<void(const sim::Histogram&)> on_done;
-};
-
-// Sends one probe; each delivery re-arms via a fresh closure, so no event
-// ever owns a reference to itself (the same rule Simulation::ArmPeriodic
-// follows — a self-referential std::function cycle would leak the closure).
-void FirePingProbe(fabric::Fabric& fabric, const std::shared_ptr<PingSeriesState>& state) {
-  fabric::PacketSpec probe;
-  probe.path = state->path;
-  probe.bytes = state->probe_bytes;
-  probe.klass = fabric::TrafficClass::kProbe;
-  probe.on_delivered = [state, &fabric](sim::TimeNs latency) {
-    state->latency_us.Add(latency.ToMicrosF());
-    if (--state->remaining <= 0) {
-      if (state->on_done) {
-        state->on_done(state->latency_us);
-      }
-      return;
-    }
-    fabric.simulation().ScheduleAfter(
-        state->interval, [state, &fabric] { FirePingProbe(fabric, state); });
-  };
-  fabric.SendPacket(std::move(probe));
-}
-
-}  // namespace
 
 void PingSeries(fabric::Fabric& fabric, topology::ComponentId src, topology::ComponentId dst,
                 int count, sim::TimeNs interval,
                 std::function<void(const sim::Histogram&)> on_done, int64_t probe_bytes) {
-  auto path = fabric.Route(src, dst);
-  if (!path || count <= 0) {
-    if (on_done) {
-      on_done(sim::Histogram{});
-    }
-    return;
-  }
-  auto state = std::make_shared<PingSeriesState>();
-  state->remaining = count;
-  state->path = std::move(*path);
-  state->interval = interval;
-  state->probe_bytes = probe_bytes;
-  state->on_done = std::move(on_done);
-  FirePingProbe(fabric, state);
+  Session(fabric).PingSeries(src, dst, count, interval, std::move(on_done), probe_bytes);
 }
-
-// -- HostTrace ----------------------------------------------------------------
 
 TraceResult Trace(fabric::Fabric& fabric, topology::ComponentId src,
                   topology::ComponentId dst) {
+  TraceReport report = Session(fabric).Trace(src, dst);
   TraceResult result;
-  auto path = fabric.Route(src, dst);
-  if (!path) {
-    return result;
-  }
-  result.reachable = true;
-  result.path = std::move(*path);
-  const topology::Topology& topo = fabric.topo();
-  result.total_base = sim::TimeNs::Zero();
-  result.total_current = sim::TimeNs::Zero();
-  for (size_t i = 0; i < result.path.hops.size(); ++i) {
-    const topology::DirectedLink hop = result.path.hops[i];
-    const topology::Link& link = topo.link(hop.link);
-    HopReport report;
-    report.from = topo.component(result.path.nodes[i]).name;
-    report.to = topo.component(result.path.nodes[i + 1]).name;
-    report.kind = link.spec.kind;
-    report.base_latency = link.spec.base_latency;
-    report.current_latency = fabric.HopLatency(hop);
-    report.utilization = fabric.Utilization(hop);
-    report.capacity = fabric.EffectiveCapacity(hop);
-    report.faulted = fabric.GetLinkFault(hop.link).has_value();
-    result.total_base += report.base_latency;
-    result.total_current += report.current_latency;
-    result.hops.push_back(std::move(report));
-  }
+  result.reachable = report.probe.reachable;
+  result.path = std::move(report.probe.path);
+  result.hops = std::move(report.hops);
+  result.total_base = report.total_base;
+  result.total_current = report.total_current;
   return result;
 }
 
 std::string RenderTrace(const fabric::Fabric& fabric, const TraceResult& trace) {
   (void)fabric;
-  std::ostringstream out;
-  if (!trace.reachable) {
-    return "unreachable\n";
-  }
-  int hop_index = 1;
-  for (const HopReport& hop : trace.hops) {
-    out << hop_index++ << ". " << hop.from << " -> " << hop.to << " ["
-        << topology::LinkKindName(hop.kind) << "] base=" << hop.base_latency.ToString()
-        << " now=" << hop.current_latency.ToString() << " util="
-        << static_cast<int>(hop.utilization * 100) << "% cap=" << hop.capacity.ToString();
-    if (hop.faulted) {
-      out << " FAULT";
-    }
-    out << "\n";
-  }
-  out << "total: base=" << trace.total_base.ToString()
-      << " now=" << trace.total_current.ToString() << "\n";
-  return out.str();
+  TraceReport report;
+  report.probe.reachable = trace.reachable;
+  report.probe.path = trace.path;
+  report.hops = trace.hops;
+  report.total_base = trace.total_base;
+  report.total_current = trace.total_current;
+  return Session::RenderTraceReport(report);
 }
-
-// -- HostPerf -----------------------------------------------------------------
 
 PerfResult PerfNow(fabric::Fabric& fabric, topology::ComponentId src,
                    topology::ComponentId dst) {
+  PerfReport report = Session(fabric).Perf(src, dst);
   PerfResult result;
-  auto path = fabric.Route(src, dst);
-  if (!path) {
-    return result;
-  }
-  fabric::FlowSpec probe;
-  probe.path = std::move(*path);
-  probe.klass = fabric::TrafficClass::kProbe;
-  const fabric::FlowId id = fabric.StartFlow(std::move(probe));
-  if (id == fabric::kInvalidFlow) {
-    return result;
-  }
-  result.reachable = true;
-  result.initial_rate = fabric.FlowRate(id);
-  result.average_rate = result.initial_rate;
-  fabric.StopFlow(id);
+  result.reachable = report.probe.reachable;
+  result.initial_rate = report.initial_rate;
+  result.average_rate = report.average_rate;
+  result.bytes_moved = report.bytes_moved;
   return result;
 }
 
 void PerfRun(fabric::Fabric& fabric, topology::ComponentId src, topology::ComponentId dst,
              sim::TimeNs duration, std::function<void(const PerfResult&)> on_done) {
-  auto path = fabric.Route(src, dst);
-  if (!path) {
-    if (on_done) {
-      on_done(PerfResult{});
-    }
-    return;
-  }
-  fabric::FlowSpec probe;
-  probe.path = std::move(*path);
-  probe.klass = fabric::TrafficClass::kProbe;
-  const fabric::FlowId id = fabric.StartFlow(std::move(probe));
-  PerfResult initial;
-  initial.reachable = true;
-  initial.initial_rate = fabric.FlowRate(id);
-  const sim::TimeNs start = fabric.simulation().Now();
-  fabric.simulation().ScheduleAfter(
-      duration, [&fabric, id, initial, start, duration, on_done = std::move(on_done)] {
-        PerfResult result = initial;
-        if (const auto info = fabric.GetFlowInfo(id)) {
-          result.bytes_moved = info->bytes_moved;
-          const double secs = (fabric.simulation().Now() - start).ToSecondsF();
-          result.average_rate =
-              secs > 0 ? sim::Bandwidth::BytesPerSec(static_cast<double>(info->bytes_moved) / secs)
-                       : sim::Bandwidth::Zero();
+  Session(fabric).PerfRun(
+      src, dst, duration,
+      [on_done = std::move(on_done)](const PerfReport& report) {
+        if (!on_done) {
+          return;
         }
-        fabric.StopFlow(id);
-        if (on_done) {
-          on_done(result);
-        }
-        (void)duration;
+        PerfResult result;
+        result.reachable = report.probe.reachable;
+        result.initial_rate = report.initial_rate;
+        result.average_rate = report.average_rate;
+        result.bytes_moved = report.bytes_moved;
+        on_done(result);
       });
 }
 
-// -- HostShark ----------------------------------------------------------------
-
 std::vector<fabric::FlowInfo> CaptureFlows(fabric::Fabric& fabric, const FlowFilter& filter) {
-  std::vector<fabric::FlowInfo> captured;
-  for (const fabric::FlowId id : fabric.ActiveFlows()) {
-    const auto info = fabric.GetFlowInfo(id);
-    if (!info) {
-      continue;
-    }
-    if (filter.tenant && info->tenant != *filter.tenant) {
-      continue;
-    }
-    if (filter.klass && info->klass != *filter.klass) {
-      continue;
-    }
-    if (filter.link && (info->path == nullptr || !info->path->Uses(*filter.link))) {
-      continue;
-    }
-    if (info->rate < filter.min_rate) {
-      continue;
-    }
-    captured.push_back(*info);
-  }
-  std::sort(captured.begin(), captured.end(),
-            [](const fabric::FlowInfo& a, const fabric::FlowInfo& b) {
-              if (a.rate != b.rate) {
-                return b.rate < a.rate;
-              }
-              return a.id < b.id;
-            });
-  return captured;
+  return Session(fabric).Capture(filter).flows;
 }
 
 std::string RenderFlows(const fabric::Fabric& fabric,
                         const std::vector<fabric::FlowInfo>& flows) {
-  std::ostringstream out;
-  for (const fabric::FlowInfo& flow : flows) {
-    out << "flow " << flow.id << " tenant=" << flow.tenant << " class="
-        << fabric::TrafficClassName(flow.klass) << " rate=" << flow.rate.ToString();
-    if (flow.path != nullptr) {
-      out << " path=" << flow.path->ToString(fabric.topo());
-    }
-    out << "\n";
-  }
-  return out.str();
+  return Session::RenderFlowTable(fabric.topo(), flows);
 }
 
 }  // namespace mihn::diagnose
+
+#pragma GCC diagnostic pop

@@ -1,63 +1,35 @@
-// Operator diagnostic tools (paper §3.1: "a set of diagnostic tools for
-// debugging purposes, such as ping, traceroute, iperf, and wireshark in
-// inter-host networks").
+// DEPRECATED free-function diagnostic API.
 //
-//   HostPing   — latency probe between any two components (ping).
-//   HostTrace  — per-hop latency/utilization breakdown (traceroute).
-//   HostPerf   — achievable-bandwidth probe using a real elastic probe flow
-//                that competes like application traffic (iperf).
-//   HostShark  — live flow-table capture with filters (wireshark).
+// The toolbox now lives on diagnose::Session (session.h), which binds to a
+// fabric once and returns results sharing a common ProbeReport header.
+// These wrappers keep old call sites compiling — each one constructs a
+// transient Session and converts the result back to the legacy struct —
+// but new code should use Session directly:
 //
-// Each tool has an instantaneous form (the fluid model is deterministic, so
-// "what would a probe see right now" is directly computable) and, for ping
-// and perf, a timed form that runs inside the simulation and reports a
-// distribution/average over an interval.
+//   before:  auto ping = diagnose::PingNow(fabric, src, dst);
+//   after:   diagnose::Session dx(fabric);
+//            auto ping = dx.Ping(src, dst);   // ping.probe.*, ping.latency
 
 #ifndef MIHN_SRC_DIAGNOSE_TOOLS_H_
 #define MIHN_SRC_DIAGNOSE_TOOLS_H_
 
 #include <functional>
-#include <optional>
 #include <string>
 #include <vector>
 
+#include "src/diagnose/session.h"
 #include "src/fabric/fabric.h"
 #include "src/sim/stats.h"
 
 namespace mihn::diagnose {
 
-// -- HostPing -----------------------------------------------------------------
+// -- Legacy result structs ----------------------------------------------------
+// Flat (header-less) predecessors of the session.h report types.
 
 struct PingResult {
   bool reachable = false;
   sim::TimeNs latency;          // One probe, right now.
   topology::Path path;
-};
-
-// Latency of a |probe_bytes| packet src -> dst along the current shortest
-// path, under current congestion. Does not perturb the fabric.
-PingResult PingNow(fabric::Fabric& fabric, topology::ComponentId src,
-                   topology::ComponentId dst, int64_t probe_bytes = 64);
-
-// Timed ping: sends |count| probes every |interval| (these DO appear in
-// telemetry as kProbe traffic) and delivers the latency distribution in
-// microseconds to |on_done|.
-void PingSeries(fabric::Fabric& fabric, topology::ComponentId src, topology::ComponentId dst,
-                int count, sim::TimeNs interval,
-                std::function<void(const sim::Histogram& latency_us)> on_done,
-                int64_t probe_bytes = 64);
-
-// -- HostTrace ----------------------------------------------------------------
-
-struct HopReport {
-  std::string from;
-  std::string to;
-  topology::LinkKind kind = topology::LinkKind::kIntraSocket;
-  sim::TimeNs base_latency;     // Spec latency (no congestion, no faults).
-  sim::TimeNs current_latency;  // With congestion inflation + fault extras.
-  double utilization = 0.0;
-  sim::Bandwidth capacity;      // Effective capacity right now.
-  bool faulted = false;
 };
 
 struct TraceResult {
@@ -68,53 +40,43 @@ struct TraceResult {
   sim::TimeNs total_current;
 };
 
-// Per-hop breakdown src -> dst. The intra-host traceroute: shows exactly
-// which hop contributes the latency (and whether it is congestion or a
-// fault).
-TraceResult Trace(fabric::Fabric& fabric, topology::ComponentId src, topology::ComponentId dst);
-
-// Multi-line rendering, one hop per line.
-std::string RenderTrace(const fabric::Fabric& fabric, const TraceResult& trace);
-
-// -- HostPerf -----------------------------------------------------------------
-
 struct PerfResult {
   bool reachable = false;
-  // Rate the probe flow achieved instantaneously on start.
   sim::Bandwidth initial_rate;
-  // Average over the measurement window (bytes moved / duration).
   sim::Bandwidth average_rate;
   int64_t bytes_moved = 0;
 };
 
-// Instantaneous bandwidth probe: starts an elastic kProbe flow, reads its
-// fair-share rate, and removes it — zero simulated time elapses, but the
-// measurement reflects real contention (the probe competes max-min like
-// any flow, exactly as iperf perturbs a production network).
+// -- Deprecated wrappers ------------------------------------------------------
+
+[[deprecated("use diagnose::Session::Ping")]]
+PingResult PingNow(fabric::Fabric& fabric, topology::ComponentId src,
+                   topology::ComponentId dst, int64_t probe_bytes = 64);
+
+[[deprecated("use diagnose::Session::PingSeries")]]
+void PingSeries(fabric::Fabric& fabric, topology::ComponentId src, topology::ComponentId dst,
+                int count, sim::TimeNs interval,
+                std::function<void(const sim::Histogram& latency_us)> on_done,
+                int64_t probe_bytes = 64);
+
+[[deprecated("use diagnose::Session::Trace")]]
+TraceResult Trace(fabric::Fabric& fabric, topology::ComponentId src, topology::ComponentId dst);
+
+[[deprecated("use diagnose::Session::Render")]]
+std::string RenderTrace(const fabric::Fabric& fabric, const TraceResult& trace);
+
+[[deprecated("use diagnose::Session::Perf")]]
 PerfResult PerfNow(fabric::Fabric& fabric, topology::ComponentId src, topology::ComponentId dst);
 
-// Timed probe: runs the elastic flow for |duration|, then reports. Other
-// traffic may come and go during the window; average_rate captures that.
+[[deprecated("use diagnose::Session::PerfRun")]]
 void PerfRun(fabric::Fabric& fabric, topology::ComponentId src, topology::ComponentId dst,
              sim::TimeNs duration, std::function<void(const PerfResult&)> on_done);
 
-// -- HostShark ----------------------------------------------------------------
-
-struct FlowFilter {
-  std::optional<fabric::TenantId> tenant;
-  std::optional<fabric::TrafficClass> klass;
-  // Only flows crossing this link (either direction).
-  std::optional<topology::LinkId> link;
-  // Minimum current rate.
-  sim::Bandwidth min_rate = sim::Bandwidth::Zero();
-};
-
-// Captures the current flow table (every fluid flow, including spill
-// companions), filtered. Ordered by descending rate.
+[[deprecated("use diagnose::Session::Capture")]]
 std::vector<fabric::FlowInfo> CaptureFlows(fabric::Fabric& fabric,
                                            const FlowFilter& filter = {});
 
-// One line per captured flow: id, tenant, class, rate, path.
+[[deprecated("use diagnose::Session::Render")]]
 std::string RenderFlows(const fabric::Fabric& fabric,
                         const std::vector<fabric::FlowInfo>& flows);
 

@@ -498,6 +498,7 @@ void Fabric::Recompute() {
   if (in_recompute_) {
     return;
   }
+  MIHN_TRACE_SPAN(solve_span, tracer_, "fabric", "fabric.solve");
   in_recompute_ = true;
   dirty_ = false;
   AccrueCounters();
@@ -571,6 +572,21 @@ void Fabric::Recompute() {
   }
   ++recompute_count_;
   in_recompute_ = false;
+  if (solve_span.active()) {
+    double spill_bps = 0.0;
+    for (const auto& [socket, stats] : cache_stats_) {
+      spill_bps += stats.spill_rate_bps;
+    }
+    solve_span.Arg("flows", static_cast<double>(flows_.size()));
+    solve_span.Arg("links", static_cast<double>(links_.size()));
+    solve_span.Arg("rounds", static_cast<double>(solver_.last_rounds()));
+    solve_span.Arg("coalesced_mutations",
+                   static_cast<double>(mutation_count_ - mutations_at_last_solve_));
+    MIHN_TRACE_COUNTER(tracer_, "fabric", "fabric.flows", flows_.size());
+    MIHN_TRACE_COUNTER(tracer_, "fabric", "fabric.recomputes", recompute_count_);
+    MIHN_TRACE_COUNTER(tracer_, "fabric", "fabric.ddio_spill_bps", spill_bps);
+  }
+  mutations_at_last_solve_ = mutation_count_;
 #ifdef MIHN_ENABLE_INVARIANT_CHECKS
   CheckInvariants();
 #endif
@@ -635,7 +651,8 @@ void Fabric::RescheduleCompletion() {
   }
   // +1ns so float accrual definitively crosses the completion threshold.
   const sim::TimeNs delay = sim::TimeNs::FromSecondsF(min_secs) + sim::TimeNs::Nanos(1);
-  completion_event_ = sim_.ScheduleAfter(delay, [this] { OnCompletionEvent(); });
+  completion_event_ =
+      sim_.ScheduleAfter(delay, [this] { OnCompletionEvent(); }, "fabric.completion");
 }
 
 void Fabric::OnCompletionEvent() {

@@ -32,6 +32,7 @@
 #include "src/fabric/cache_model.h"
 #include "src/fabric/config.h"
 #include "src/fabric/types.h"
+#include "src/obs/tracer.h"
 #include "src/sim/simulation.h"
 #include "src/topology/routing.h"
 #include "src/topology/topology.h"
@@ -133,6 +134,14 @@ class Fabric {
 
   const topology::Topology& topo() const { return topo_; }
   sim::Simulation& simulation() { return sim_; }
+
+  // -- Tracing -------------------------------------------------------------------
+  // Installs the tracer that receives "fabric.solve" spans (flow/link
+  // counts, solver rounds, coalesced mutations, DDIO spill) and fabric
+  // counters. |tracer| must not be null — pass obs::Tracer::Disabled() to
+  // turn tracing off — and must outlive the fabric.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
 
   // Rate mutations are *coalesced*: a mutator (StartFlow, StopFlow,
   // SetFlowLimit/Weight/Demand, faults, SetConfig) only marks the fabric
@@ -246,8 +255,10 @@ class Fabric {
   std::map<topology::ComponentId, std::vector<topology::ComponentId>> socket_dimms_;
   MaxMinSolver solver_;  // Persistent workspace: no allocation at steady state.
   sim::EventHandle pre_advance_hook_;
+  obs::Tracer* tracer_ = obs::Tracer::Disabled();
   uint64_t recompute_count_ = 0;
   uint64_t mutation_count_ = 0;
+  uint64_t mutations_at_last_solve_ = 0;  // For the per-solve coalescing arg.
   size_t ddio_flow_count_ = 0;  // Active flows with spec.ddio_write.
   bool dirty_ = false;
   bool in_recompute_ = false;

@@ -359,10 +359,14 @@ const std::vector<double>& MaxMinSolver::Solve(const std::vector<MaxMinFlow>& fl
   return Commit();
 }
 
+// Deprecated in the header; this TU only provides the definition.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 std::vector<double> SolveMaxMin(const std::vector<MaxMinFlow>& flows,
                                 const std::vector<double>& capacities) {
   MaxMinSolver solver;
   return solver.Solve(flows, capacities);
 }
+#pragma GCC diagnostic pop
 
 }  // namespace mihn::fabric

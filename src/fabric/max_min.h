@@ -148,9 +148,13 @@ class MaxMinSolver {
   size_t fixed_this_round_ = 0;
 };
 
-// Thin wrapper over a MaxMinSolver; returns one rate per flow (bytes/sec).
-// Prefer a long-lived MaxMinSolver on hot paths — this constructs a fresh
-// workspace per call.
+// DEPRECATED thin wrapper over a MaxMinSolver; returns one rate per flow
+// (bytes/sec). It constructs a fresh workspace per call, defeating the
+// solver's allocation-free steady state — use the MaxMinSolver batch API
+// (Begin / SetCapacity / AddFlow / Commit, or the Solve() convenience)
+// with a long-lived solver instead. Kept so legacy callers compile;
+// exercised by max_min_solver_test.cc's WrapperStillServesLegacyCallers.
+[[deprecated("use MaxMinSolver (Begin/SetCapacity/AddFlow/Commit or Solve)")]]
 std::vector<double> SolveMaxMin(const std::vector<MaxMinFlow>& flows,
                                 const std::vector<double>& capacities);
 

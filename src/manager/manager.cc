@@ -57,6 +57,7 @@ void Manager::RecomputeLedger() {
 }
 
 SubmitResult Manager::SubmitIntent(fabric::TenantId tenant, PerformanceTarget target) {
+  MIHN_TRACE_SPAN(place_span, fabric_.tracer(), "manager", "manager.place");
   SubmitResult result;
   if (!tenants_.contains(tenant)) {
     result.error = "unknown tenant";
@@ -70,9 +71,16 @@ SubmitResult Manager::SubmitIntent(fabric::TenantId tenant, PerformanceTarget ta
   }
   const auto placement = scheduler_.Place(target, AdmissionLedger(tenant, target));
   if (!placement) {
+    place_span.Arg("admitted", 0.0);
     result.error = "no feasible path: capacity or latency bound unsatisfiable";
     ++rejected_;
     return result;
+  }
+  if (place_span.active()) {
+    place_span.Arg("admitted", 1.0);
+    place_span.Arg("candidates", static_cast<double>(placement->candidates_considered));
+    place_span.Arg("path_hops", static_cast<double>(placement->path.hops.size()));
+    place_span.Arg("max_utilization", placement->max_utilization);
   }
   const AllocationId id = next_allocation_id_++;
   Allocation alloc;
@@ -225,8 +233,8 @@ void Manager::Start() {
     return;
   }
   running_ = true;
-  arbiter_timer_ = fabric_.simulation().SchedulePeriodic(config_.arbiter_quantum,
-                                                         [this] { ArbitrateOnce(); });
+  arbiter_timer_ = fabric_.simulation().SchedulePeriodic(
+      config_.arbiter_quantum, [this] { ArbitrateOnce(); }, "manager.arbiter");
 }
 
 void Manager::Stop() {
@@ -239,6 +247,7 @@ void Manager::ArbitrateOnce() {
   if (config_.mode == ManagerConfig::Mode::kOff) {
     return;
   }
+  MIHN_TRACE_SPAN(quantum_span, fabric_.tracer(), "manager", "manager.arbitrate");
   const bool work_conserving = config_.mode == ManagerConfig::Mode::kWorkConserving;
 
   // Prune flows that no longer exist in the fabric.
@@ -361,6 +370,21 @@ void Manager::ArbitrateOnce() {
     limits.emplace_back(s.id, sim::Bandwidth::BytesPerSec(limit));
   }
 
+  if (quantum_span.active()) {
+    // Tokens granted this quantum: finite limits only (an "unlimited"
+    // scavenger cap is absence of enforcement, not a grant).
+    double granted_bps = 0.0;
+    for (const auto& [flow, limit] : limits) {
+      if (limit.bytes_per_sec() < kUnlimited) {
+        granted_bps += limit.bytes_per_sec();
+      }
+    }
+    quantum_span.Arg("flows_limited", static_cast<double>(limits.size()));
+    quantum_span.Arg("scavengers", static_cast<double>(scavengers.size()));
+    quantum_span.Arg("granted_bps", granted_bps);
+    MIHN_TRACE_COUNTER(fabric_.tracer(), "manager", "manager.flows_limited", limits.size());
+    MIHN_TRACE_COUNTER(fabric_.tracer(), "manager", "manager.granted_bps", granted_bps);
+  }
   fabric_.SetFlowLimitsBatch(limits);
 }
 

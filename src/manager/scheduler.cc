@@ -38,7 +38,7 @@ std::optional<Scheduler::Placement> Scheduler::Place(
       continue;
     }
     if (!best || max_util < best->max_utilization) {
-      best = Placement{path, max_util};
+      best = Placement{path, max_util, static_cast<int>(candidates.size())};
     }
   }
   return best;

@@ -40,6 +40,9 @@ class Scheduler {
     topology::Path path;
     // Maximum post-placement reservation utilization along the path.
     double max_utilization = 0.0;
+    // Candidate paths enumerated (before feasibility filtering) — tracing
+    // metadata for the "how hard did the scheduler work" question.
+    int candidates_considered = 0;
   };
 
   // Chooses a feasible path for |target| given |reserved| (per

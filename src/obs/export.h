@@ -1,0 +1,41 @@
+// Trace export: Chrome trace-event JSON (chrome://tracing / Perfetto) and a
+// compact per-name text summary.
+//
+// The JSON is deterministic when profiling is off: events are written in
+// ring-buffer (completion) order with virtual-time `ts` fields, tracks
+// (tid) are assigned by sorted category name, and every number is printed
+// with a fixed format — two identically seeded runs produce byte-identical
+// files (asserted by tests/obs/determinism_test.cc). In profiling mode the
+// timeline switches to the wall-clock stamps, rebased to the first record.
+
+#ifndef MIHN_SRC_OBS_EXPORT_H_
+#define MIHN_SRC_OBS_EXPORT_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/obs/tracer.h"
+
+namespace mihn::obs {
+
+// Writes the retained spans and counters as a Chrome trace-event JSON
+// object ({"traceEvents": [...]}): one "X" (complete) event per span, one
+// "C" (counter) event per sample, plus process/thread-name metadata.
+// `ts`/`dur` are microseconds; pid is always 0; tid is the span's category
+// track.
+void WriteChromeTrace(const Tracer& tracer, std::ostream& out);
+
+// WriteChromeTrace into a string (tests, small traces).
+std::string ChromeTraceJson(const Tracer& tracer);
+
+// Writes the JSON to |path|. Returns false when the file cannot be opened.
+bool WriteChromeTraceFile(const Tracer& tracer, const std::string& path);
+
+// Compact human-readable rollup: per span name — count, total/mean
+// duration (wall in profiling mode, virtual otherwise); per counter name —
+// count, last/min/max value; plus drop counts.
+std::string Summary(const Tracer& tracer);
+
+}  // namespace mihn::obs
+
+#endif  // MIHN_SRC_OBS_EXPORT_H_

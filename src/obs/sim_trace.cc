@@ -1,0 +1,45 @@
+#include "src/obs/sim_trace.h"
+
+namespace mihn::obs {
+namespace {
+
+// Rate-counter window: one events-per-virtual-second sample per elapsed
+// virtual millisecond keeps the counter ring from drowning in samples on
+// event-dense workloads.
+constexpr sim::TimeNs kRateWindow = sim::TimeNs::Millis(1);
+
+}  // namespace
+
+void SimTraceObserver::OnEventBegin(const char* label, sim::TimeNs now,
+                                    size_t queue_depth) {
+  if (!tracer_->enabled()) {
+    return;
+  }
+  pending_ = Span{};
+  pending_.name = label != nullptr ? label : "sim.event";
+  pending_.category = "sim";
+  tracer_->StampBegin(pending_);
+  open_ = true;
+
+  MIHN_TRACE_COUNTER(tracer_, "sim", "sim.queue_depth", queue_depth);
+
+  ++window_events_;
+  const sim::TimeNs elapsed = now - window_start_;
+  if (elapsed >= kRateWindow) {
+    const double secs = static_cast<double>(elapsed.nanos()) / 1e9;
+    MIHN_TRACE_COUNTER(tracer_, "sim", "sim.events_per_sec",
+                       static_cast<double>(window_events_) / secs);
+    window_start_ = now;
+    window_events_ = 0;
+  }
+}
+
+void SimTraceObserver::OnEventEnd(const char* /*label*/, sim::TimeNs /*now*/) {
+  if (!open_) {
+    return;
+  }
+  open_ = false;
+  tracer_->EndAndRecord(pending_);
+}
+
+}  // namespace mihn::obs

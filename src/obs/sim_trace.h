@@ -1,0 +1,52 @@
+// SimTraceObserver: the bridge from the simulation engine's EventObserver
+// hook to the Tracer.
+//
+// sim (a leaf library) defines the EventObserver interface but cannot
+// depend on obs; this class closes the loop from the other side. Install
+// one per simulation (HostNetwork does this when tracing is enabled):
+//
+//   obs::Tracer tracer(config, &sim);
+//   obs::SimTraceObserver observer(&tracer);
+//   sim.SetEventObserver(&observer);
+//
+// Per fired event it records one "sim"-category span (named by the
+// scheduling site's label, "sim.event" when unlabeled), a queue-depth
+// counter, and — once per elapsed virtual millisecond — an events-per-
+// virtual-second rate counter.
+
+#ifndef MIHN_SRC_OBS_SIM_TRACE_H_
+#define MIHN_SRC_OBS_SIM_TRACE_H_
+
+#include <cstdint>
+
+#include "src/obs/tracer.h"
+#include "src/sim/simulation.h"
+#include "src/sim/time.h"
+
+namespace mihn::obs {
+
+class SimTraceObserver : public sim::EventObserver {
+ public:
+  // |tracer| must not be null (use Tracer::Disabled() for "off") and must
+  // outlive the observer.
+  explicit SimTraceObserver(Tracer* tracer) : tracer_(tracer) {}
+
+  void OnEventBegin(const char* label, sim::TimeNs now, size_t queue_depth) override;
+  void OnEventEnd(const char* label, sim::TimeNs now) override;
+
+ private:
+  Tracer* tracer_;
+
+  // Open-span bookkeeping. Events never nest (run-to-completion), so a
+  // single pending slot suffices.
+  Span pending_;
+  bool open_ = false;
+
+  // Events/sec rate window (virtual time).
+  sim::TimeNs window_start_ = sim::TimeNs::Zero();
+  uint64_t window_events_ = 0;
+};
+
+}  // namespace mihn::obs
+
+#endif  // MIHN_SRC_OBS_SIM_TRACE_H_

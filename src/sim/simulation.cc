@@ -6,29 +6,31 @@ namespace mihn::sim {
 
 Simulation::Simulation(uint64_t seed) : root_rng_(seed) {}
 
-EventHandle Simulation::ScheduleAt(TimeNs at, std::function<void()> fn) {
+EventHandle Simulation::ScheduleAt(TimeNs at, std::function<void()> fn, const char* label) {
   if (at < now_) {
     at = now_;
   }
   auto flag = std::make_shared<bool>(false);
-  queue_.push(Event{at, next_seq_++, std::move(fn), flag});
+  queue_.push(Event{at, next_seq_++, std::move(fn), flag, label});
   return EventHandle(std::move(flag));
 }
 
-EventHandle Simulation::ScheduleAfter(TimeNs delay, std::function<void()> fn) {
-  return ScheduleAt(now_ + delay, std::move(fn));
+EventHandle Simulation::ScheduleAfter(TimeNs delay, std::function<void()> fn,
+                                      const char* label) {
+  return ScheduleAt(now_ + delay, std::move(fn), label);
 }
 
-EventHandle Simulation::SchedulePeriodic(TimeNs period, std::function<void()> fn) {
+EventHandle Simulation::SchedulePeriodic(TimeNs period, std::function<void()> fn,
+                                         const char* label) {
   auto flag = std::make_shared<bool>(false);
-  ArmPeriodic(period, std::make_shared<std::function<void()>>(std::move(fn)), flag);
+  ArmPeriodic(period, std::make_shared<std::function<void()>>(std::move(fn)), flag, label);
   return EventHandle(std::move(flag));
 }
 
 void Simulation::ArmPeriodic(TimeNs period, std::shared_ptr<std::function<void()>> fn,
-                             std::shared_ptr<bool> flag) {
+                             std::shared_ptr<bool> flag, const char* label) {
   queue_.push(Event{now_ + period, next_seq_++,
-                    [this, period, fn, flag] {
+                    [this, period, fn, flag, label] {
                       if (*flag) {
                         return;
                       }
@@ -36,9 +38,9 @@ void Simulation::ArmPeriodic(TimeNs period, std::shared_ptr<std::function<void()
                       if (*flag) {
                         return;
                       }
-                      ArmPeriodic(period, fn, flag);
+                      ArmPeriodic(period, fn, flag, label);
                     },
-                    flag});
+                    flag, label});
 }
 
 EventHandle Simulation::AddPreAdvanceHook(std::function<void()> fn) {
@@ -88,6 +90,12 @@ bool Simulation::Step() {
     }
     now_ = ev.at;
     ++events_executed_;
+    if (observer_ != nullptr) {
+      observer_->OnEventBegin(ev.label, now_, queue_.size());
+      ev.fn();
+      observer_->OnEventEnd(ev.label, now_);
+      return true;
+    }
     ev.fn();
     return true;
   }

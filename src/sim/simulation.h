@@ -43,6 +43,21 @@ class EventHandle {
   std::shared_ptr<bool> cancelled_;
 };
 
+// Observer of event execution, for tracing/profiling (see src/obs/). The
+// interface lives here — not in obs — so the leaf sim library stays free of
+// upward dependencies; obs provides the Tracer-backed implementation and
+// HostNetwork installs it. Callbacks fire synchronously around each event;
+// with no observer installed the engine pays one pointer test per event.
+class EventObserver {
+ public:
+  virtual ~EventObserver() = default;
+  // |label| is the scheduling site's static tag (null for unlabeled
+  // events); |queue_depth| counts events still pending (the fired one
+  // excluded).
+  virtual void OnEventBegin(const char* label, TimeNs now, size_t queue_depth) = 0;
+  virtual void OnEventEnd(const char* label, TimeNs now) = 0;
+};
+
 // The event loop. Not thread-safe: a simulation is single-threaded by
 // design (determinism), and benchmarks wanting parallelism run independent
 // Simulation instances.
@@ -60,14 +75,22 @@ class Simulation {
   // Schedules |fn| to run at absolute virtual time |at|. Scheduling in the
   // past (before Now()) is clamped to Now(): the event fires "immediately"
   // but still through the queue, preserving run-to-completion semantics.
-  EventHandle ScheduleAt(TimeNs at, std::function<void()> fn);
+  // |label| (a static string literal, or null) tags the event for the
+  // EventObserver — it is never copied.
+  EventHandle ScheduleAt(TimeNs at, std::function<void()> fn, const char* label = nullptr);
 
   // Schedules |fn| to run |delay| after Now().
-  EventHandle ScheduleAfter(TimeNs delay, std::function<void()> fn);
+  EventHandle ScheduleAfter(TimeNs delay, std::function<void()> fn,
+                            const char* label = nullptr);
 
   // Schedules |fn| every |period| starting at Now() + period, until the
   // returned handle is cancelled or the simulation stops.
-  EventHandle SchedulePeriodic(TimeNs period, std::function<void()> fn);
+  EventHandle SchedulePeriodic(TimeNs period, std::function<void()> fn,
+                               const char* label = nullptr);
+
+  // Installs (or, with null, removes) the event observer. The observer
+  // must outlive the simulation or be removed first.
+  void SetEventObserver(EventObserver* observer) { observer_ = observer; }
 
   // Runs until the queue is empty or Stop() is called. Returns the final
   // virtual time.
@@ -111,6 +134,7 @@ class Simulation {
     uint64_t seq;  // Insertion order; breaks timestamp ties deterministically.
     std::function<void()> fn;
     std::shared_ptr<bool> cancelled;
+    const char* label;  // Static scheduling-site tag for the observer.
   };
   struct EventLater {
     bool operator()(const Event& a, const Event& b) const {
@@ -130,7 +154,7 @@ class Simulation {
   // fresh closure so no event ever owns a reference to itself (a
   // self-referential shared_ptr cycle would leak the closure).
   void ArmPeriodic(TimeNs period, std::shared_ptr<std::function<void()>> fn,
-                   std::shared_ptr<bool> flag);
+                   std::shared_ptr<bool> flag, const char* label);
 
   // Runs all live pre-advance hooks. Returns true if any hook scheduled a
   // new event (the caller must re-evaluate what to run next).
@@ -142,6 +166,7 @@ class Simulation {
   bool stopped_ = false;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
   std::vector<std::pair<std::shared_ptr<bool>, std::function<void()>>> pre_advance_hooks_;
+  EventObserver* observer_ = nullptr;
   Rng root_rng_;
 };
 

@@ -24,7 +24,8 @@ void Collector::Start() {
     return;
   }
   running_ = true;
-  timer_ = fabric_.simulation().SchedulePeriodic(config_.period, [this] { SampleOnce(); });
+  timer_ = fabric_.simulation().SchedulePeriodic(
+      config_.period, [this] { SampleOnce(); }, "telemetry.tick");
 }
 
 void Collector::Stop() {
@@ -42,6 +43,7 @@ void Collector::Record(const std::string& key, double value) {
 }
 
 void Collector::SampleOnce() {
+  MIHN_TRACE_SPAN(tick_span, fabric_.tracer(), "telemetry", "telemetry.sample");
   ++samples_taken_;
   last_tick_metrics_ = 0;
   const bool fine = config_.granularity == Granularity::kFine;
@@ -110,6 +112,12 @@ void Collector::SampleOnce() {
       fabric_.SendPacket(std::move(pkt));
       bytes_reported_ += bytes;
     }
+  }
+  if (tick_span.active()) {
+    tick_span.Arg("metrics", static_cast<double>(last_tick_metrics_));
+    tick_span.Arg("bytes_reported_total", static_cast<double>(bytes_reported_));
+    MIHN_TRACE_COUNTER(fabric_.tracer(), "telemetry", "telemetry.metrics_per_tick",
+                       last_tick_metrics_);
   }
 }
 

@@ -17,8 +17,7 @@ using sim::TimeNs;
 
 HostNetwork::Options Quiet() {
   HostNetwork::Options options;
-  options.start_collector = false;
-  options.start_manager = false;
+  options.autostart = HostNetwork::Autostart::kNone;
   return options;
 }
 

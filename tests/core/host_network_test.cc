@@ -19,8 +19,7 @@ TEST(HostNetworkTest, DefaultBuildIsWired) {
 TEST(HostNetworkTest, PresetsSelectTopology) {
   HostNetwork::Options options;
   options.preset = HostNetwork::Preset::kEdgeNode;
-  options.start_collector = false;
-  options.start_manager = false;
+  options.autostart = HostNetwork::Autostart::kNone;
   HostNetwork edge(options);
   EXPECT_EQ(edge.server().gpus.size(), 0u);
   options.preset = HostNetwork::Preset::kDgxClass;
@@ -45,7 +44,7 @@ TEST(HostNetworkTest, AutoStartedCollectorReportsToMonitorStore) {
 
 TEST(HostNetworkTest, ReportingCanBeDisabled) {
   HostNetwork::Options options;
-  options.report_telemetry_to_store = false;
+  options.autostart = HostNetwork::Autostart::kAllUnreported;
   HostNetwork host(options);
   host.RunFor(TimeNs::Millis(10));
   EXPECT_EQ(host.collector().bytes_reported(), 0);
@@ -71,8 +70,7 @@ TEST(HostNetworkTest, CustomServerConstructor) {
   spec.sockets = 1;
   spec.gpus_per_leaf = 3;
   HostNetwork::Options options;
-  options.start_collector = false;
-  options.start_manager = false;
+  options.autostart = HostNetwork::Autostart::kNone;
   HostNetwork host(topology::BuildServer(spec), options);
   EXPECT_EQ(host.server().gpus.size(), 6u);  // 2 root ports x 1 switch x 3.
   EXPECT_EQ(host.topo().Validate(), "");

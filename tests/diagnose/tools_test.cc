@@ -1,8 +1,9 @@
-#include "src/diagnose/tools.h"
+#include "src/diagnose/session.h"
 
 #include <gtest/gtest.h>
 
 #include "src/core/host_network.h"
+#include "src/diagnose/tools.h"
 #include "src/workload/sources.h"
 
 namespace mihn::diagnose {
@@ -13,37 +14,47 @@ using sim::TimeNs;
 
 HostNetwork::Options Quiet() {
   HostNetwork::Options options;
-  options.start_collector = false;
-  options.start_manager = false;
+  options.autostart = HostNetwork::Autostart::kNone;
   return options;
 }
 
 TEST(HostPingTest, UnloadedPingMatchesPathLatency) {
   HostNetwork host(Quiet());
   const auto& server = host.server();
-  const auto result = PingNow(host.fabric(), server.nics[0], server.sockets[0]);
-  ASSERT_TRUE(result.reachable);
+  const auto result = host.diagnose().Ping(server.nics[0], server.sockets[0]);
+  ASSERT_TRUE(result.probe.reachable);
   const auto path = *host.fabric().Route(server.nics[0], server.sockets[0]);
   EXPECT_GE(result.latency, path.BaseLatency(host.topo()));
   EXPECT_LT(result.latency, path.BaseLatency(host.topo()) + TimeNs::Micros(1));
 }
 
+TEST(HostPingTest, ProbeHeaderRecordsEndpointsAndTime) {
+  HostNetwork host(Quiet());
+  const auto& server = host.server();
+  host.RunFor(TimeNs::Micros(5));
+  const auto result = host.diagnose().Ping(server.nics[0], server.sockets[0]);
+  EXPECT_EQ(result.probe.src, server.nics[0]);
+  EXPECT_EQ(result.probe.dst, server.sockets[0]);
+  EXPECT_EQ(result.probe.issued_at, host.Now());
+  EXPECT_FALSE(result.probe.path.empty());
+}
+
 TEST(HostPingTest, UnreachableReported) {
   HostNetwork host(Quiet());
-  const auto result = PingNow(host.fabric(), host.server().nics[0], host.server().nics[0]);
-  EXPECT_FALSE(result.reachable);
+  const auto result = host.diagnose().Ping(host.server().nics[0], host.server().nics[0]);
+  EXPECT_FALSE(result.probe.reachable);
 }
 
 TEST(HostPingTest, PingSeesCongestion) {
   HostNetwork host(Quiet());
   const auto& server = host.server();
-  const auto before = PingNow(host.fabric(), server.nics[0], server.sockets[0]);
+  const auto before = host.diagnose().Ping(server.nics[0], server.sockets[0]);
   workload::StreamSource::Config bulk;
   bulk.src = server.gpus[0];
   bulk.dst = server.sockets[0];
   workload::StreamSource stream(host.fabric(), bulk);
   stream.Start();
-  const auto after = PingNow(host.fabric(), server.nics[0], server.sockets[0]);
+  const auto after = host.diagnose().Ping(server.nics[0], server.sockets[0]);
   EXPECT_GT(after.latency, before.latency * 2);
 }
 
@@ -52,11 +63,11 @@ TEST(HostPingTest, SeriesCollectsDistribution) {
   const auto& server = host.server();
   sim::Histogram latency;
   bool done = false;
-  PingSeries(host.fabric(), server.nics[0], server.sockets[0], 20, TimeNs::Micros(100),
-             [&](const sim::Histogram& h) {
-               latency = h;
-               done = true;
-             });
+  host.diagnose().PingSeries(server.nics[0], server.sockets[0], 20, TimeNs::Micros(100),
+                             [&](const sim::Histogram& h) {
+                               latency = h;
+                               done = true;
+                             });
   host.simulation().Run();
   ASSERT_TRUE(done);
   EXPECT_EQ(latency.count(), 20);
@@ -66,11 +77,12 @@ TEST(HostPingTest, SeriesCollectsDistribution) {
 TEST(HostPingTest, SeriesOnUnreachablePairReturnsEmpty) {
   HostNetwork host(Quiet());
   bool done = false;
-  PingSeries(host.fabric(), host.server().nics[0], host.server().nics[0], 5, TimeNs::Micros(10),
-             [&](const sim::Histogram& h) {
-               EXPECT_EQ(h.count(), 0);
-               done = true;
-             });
+  host.diagnose().PingSeries(host.server().nics[0], host.server().nics[0], 5,
+                             TimeNs::Micros(10),
+                             [&](const sim::Histogram& h) {
+                               EXPECT_EQ(h.count(), 0);
+                               done = true;
+                             });
   host.simulation().Run();
   EXPECT_TRUE(done);
 }
@@ -78,8 +90,8 @@ TEST(HostPingTest, SeriesOnUnreachablePairReturnsEmpty) {
 TEST(HostTraceTest, BreaksDownPerHop) {
   HostNetwork host(Quiet());
   const auto& server = host.server();
-  const auto trace = Trace(host.fabric(), server.external_hosts[0], server.dimms[0]);
-  ASSERT_TRUE(trace.reachable);
+  const auto trace = host.diagnose().Trace(server.external_hosts[0], server.dimms[0]);
+  ASSERT_TRUE(trace.probe.reachable);
   EXPECT_GE(trace.hops.size(), 5u);
   EXPECT_EQ(trace.hops.front().from, "remote0");
   sim::TimeNs sum = sim::TimeNs::Zero();
@@ -96,12 +108,12 @@ TEST(HostTraceTest, PinpointsFaultedHop) {
   const auto& server = host.server();
   const auto path = *host.fabric().Route(server.nics[0], server.sockets[0]);
   host.fabric().InjectLinkFault(path.hops[1].link, fabric::LinkFault{1.0, TimeNs::Micros(3)});
-  const auto trace = Trace(host.fabric(), server.nics[0], server.sockets[0]);
-  ASSERT_TRUE(trace.reachable);
+  const auto trace = host.diagnose().Trace(server.nics[0], server.sockets[0]);
+  ASSERT_TRUE(trace.probe.reachable);
   EXPECT_FALSE(trace.hops[0].faulted);
   EXPECT_TRUE(trace.hops[1].faulted);
   EXPECT_GT(trace.hops[1].current_latency, trace.hops[1].base_latency + TimeNs::Micros(2));
-  const std::string rendered = RenderTrace(host.fabric(), trace);
+  const std::string rendered = host.diagnose().Render(trace);
   EXPECT_NE(rendered.find("FAULT"), std::string::npos);
 }
 
@@ -113,7 +125,7 @@ TEST(HostTraceTest, ShowsCongestedHopUtilization) {
   bulk.dst = server.sockets[0];
   workload::StreamSource stream(host.fabric(), bulk);
   stream.Start();
-  const auto trace = Trace(host.fabric(), server.gpus[0], server.sockets[0]);
+  const auto trace = host.diagnose().Trace(server.gpus[0], server.sockets[0]);
   bool congested_hop = false;
   for (const auto& hop : trace.hops) {
     if (hop.utilization > 0.9) {
@@ -127,8 +139,8 @@ TEST(HostTraceTest, ShowsCongestedHopUtilization) {
 TEST(HostPerfTest, MeasuresBottleneckWhenIdle) {
   HostNetwork host(Quiet());
   const auto& server = host.server();
-  const auto result = PerfNow(host.fabric(), server.ssds[0], server.dimms[0]);
-  ASSERT_TRUE(result.reachable);
+  const auto result = host.diagnose().Perf(server.ssds[0], server.dimms[0]);
+  ASSERT_TRUE(result.probe.reachable);
   // PCIe-bound: ~32 GB/s raw less transaction-layer efficiency.
   EXPECT_GT(result.initial_rate.ToGBps(), 25.0);
   EXPECT_LT(result.initial_rate.ToGBps(), 33.0);
@@ -139,30 +151,31 @@ TEST(HostPerfTest, MeasuresBottleneckWhenIdle) {
 TEST(HostPerfTest, SeesContention) {
   HostNetwork host(Quiet());
   const auto& server = host.server();
-  const double idle = PerfNow(host.fabric(), server.ssds[0], server.dimms[0]).initial_rate.ToGBps();
+  const double idle =
+      host.diagnose().Perf(server.ssds[0], server.dimms[0]).initial_rate.ToGBps();
   workload::StreamSource::Config bulk;
   bulk.src = server.gpus[0];  // Shares the switch uplink with ssd0.
   bulk.dst = server.dimms[0];
   workload::StreamSource stream(host.fabric(), bulk);
   stream.Start();
   const double loaded =
-      PerfNow(host.fabric(), server.ssds[0], server.dimms[0]).initial_rate.ToGBps();
+      host.diagnose().Perf(server.ssds[0], server.dimms[0]).initial_rate.ToGBps();
   EXPECT_NEAR(loaded, idle / 2, idle * 0.1);
 }
 
 TEST(HostPerfTest, TimedRunAveragesOverWindow) {
   HostNetwork host(Quiet());
   const auto& server = host.server();
-  PerfResult result;
+  PerfReport result;
   bool done = false;
-  PerfRun(host.fabric(), server.ssds[0], server.dimms[0], TimeNs::Millis(10),
-          [&](const PerfResult& r) {
-            result = r;
-            done = true;
-          });
+  host.diagnose().PerfRun(server.ssds[0], server.dimms[0], TimeNs::Millis(10),
+                          [&](const PerfReport& r) {
+                            result = r;
+                            done = true;
+                          });
   host.RunFor(TimeNs::Millis(20));
   ASSERT_TRUE(done);
-  EXPECT_TRUE(result.reachable);
+  EXPECT_TRUE(result.probe.reachable);
   EXPECT_GT(result.bytes_moved, 0);
   EXPECT_NEAR(result.average_rate.ToGBps(), result.initial_rate.ToGBps(), 1.0);
   EXPECT_TRUE(host.fabric().ActiveFlows().empty());
@@ -184,29 +197,29 @@ TEST(HostSharkTest, CapturesAndFilters) {
   workload::StreamSource sb(host.fabric(), b);
   sb.Start();
 
-  const auto all = CaptureFlows(host.fabric());
-  EXPECT_EQ(all.size(), 2u);
+  const auto all = host.diagnose().Capture();
+  EXPECT_EQ(all.flows.size(), 2u);
   // Sorted by descending rate.
-  EXPECT_GE(all[0].rate, all[1].rate);
+  EXPECT_GE(all.flows[0].rate, all.flows[1].rate);
 
   FlowFilter tenant_filter;
   tenant_filter.tenant = 2;
-  const auto only_b = CaptureFlows(host.fabric(), tenant_filter);
-  ASSERT_EQ(only_b.size(), 1u);
-  EXPECT_EQ(only_b[0].tenant, 2);
+  const auto only_b = host.diagnose().Capture(tenant_filter);
+  ASSERT_EQ(only_b.flows.size(), 1u);
+  EXPECT_EQ(only_b.flows[0].tenant, 2);
 
   FlowFilter link_filter;
   const auto path_a = *host.fabric().Route(server.ssds[0], server.dimms[0]);
   link_filter.link = path_a.hops[0].link;
-  const auto on_link = CaptureFlows(host.fabric(), link_filter);
-  ASSERT_EQ(on_link.size(), 1u);
-  EXPECT_EQ(on_link[0].tenant, 1);
+  const auto on_link = host.diagnose().Capture(link_filter);
+  ASSERT_EQ(on_link.flows.size(), 1u);
+  EXPECT_EQ(on_link.flows[0].tenant, 1);
 
   FlowFilter rate_filter;
   rate_filter.min_rate = Bandwidth::GBps(1000);
-  EXPECT_TRUE(CaptureFlows(host.fabric(), rate_filter).empty());
+  EXPECT_TRUE(host.diagnose().Capture(rate_filter).flows.empty());
 
-  const std::string rendered = RenderFlows(host.fabric(), all);
+  const std::string rendered = host.diagnose().Render(all);
   EXPECT_NE(rendered.find("tenant=1"), std::string::npos);
   EXPECT_NE(rendered.find("path="), std::string::npos);
 }
@@ -226,9 +239,36 @@ TEST(HostSharkTest, CapturesSpillCompanions) {
 
   FlowFilter spill_filter;
   spill_filter.klass = fabric::TrafficClass::kSpill;
-  const auto spills = CaptureFlows(host.fabric(), spill_filter);
-  ASSERT_EQ(spills.size(), 1u);
-  EXPECT_EQ(spills[0].tenant, 3);  // Attribution preserved.
+  const auto spills = host.diagnose().Capture(spill_filter);
+  ASSERT_EQ(spills.flows.size(), 1u);
+  EXPECT_EQ(spills.flows[0].tenant, 3);  // Attribution preserved.
+}
+
+// The deprecated free-function wrappers must match the Session results
+// until removal.
+TEST(LegacyWrapperTest, WrappersDelegateToSession) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  HostNetwork host(Quiet());
+  const auto& server = host.server();
+
+  const PingResult ping = PingNow(host.fabric(), server.nics[0], server.sockets[0]);
+  const PingReport ping_new = host.diagnose().Ping(server.nics[0], server.sockets[0]);
+  ASSERT_TRUE(ping.reachable);
+  EXPECT_EQ(ping.latency, ping_new.latency);
+
+  const TraceResult trace = Trace(host.fabric(), server.nics[0], server.sockets[0]);
+  ASSERT_TRUE(trace.reachable);
+  EXPECT_EQ(RenderTrace(host.fabric(), trace),
+            host.diagnose().Render(host.diagnose().Trace(server.nics[0], server.sockets[0])));
+
+  const PerfResult perf = PerfNow(host.fabric(), server.ssds[0], server.dimms[0]);
+  const PerfReport perf_new = host.diagnose().Perf(server.ssds[0], server.dimms[0]);
+  ASSERT_TRUE(perf.reachable);
+  EXPECT_EQ(perf.initial_rate.bytes_per_sec(), perf_new.initial_rate.bytes_per_sec());
+
+  EXPECT_TRUE(CaptureFlows(host.fabric()).empty());  // Probes cleaned up.
+#pragma GCC diagnostic pop
 }
 
 }  // namespace

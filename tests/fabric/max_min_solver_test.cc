@@ -155,9 +155,13 @@ TEST(MaxMinSolverTest, BatchApiMatchesOneShot) {
 }
 
 TEST(MaxMinSolverTest, WrapperStillServesLegacyCallers) {
+  // The deprecated free-function wrapper must keep working until removal.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   const auto rates = SolveMaxMin(
       {{1.0, kUnlimitedDemand, {0}}, {1.0, kUnlimitedDemand, {0, 1}}, {1.0, kUnlimitedDemand, {1}}},
       {10.0, 4.0});
+#pragma GCC diagnostic pop
   EXPECT_DOUBLE_EQ(rates[1], 2.0);
   EXPECT_DOUBLE_EQ(rates[2], 2.0);
   EXPECT_DOUBLE_EQ(rates[0], 8.0);

@@ -10,23 +10,33 @@
 namespace mihn::fabric {
 namespace {
 
+// Every case solves through one shared MaxMinSolver workspace — the
+// supported API (the SolveMaxMin free function is deprecated). Reuse
+// across tests also exercises the workspace-reset path: stale state from a
+// previous solve would fail the very next case.
+std::vector<double> Solve(const std::vector<MaxMinFlow>& flows,
+                          const std::vector<double>& capacities) {
+  static MaxMinSolver solver;
+  return solver.Solve(flows, capacities);
+}
+
 TEST(MaxMinTest, EmptyInput) {
-  EXPECT_TRUE(SolveMaxMin({}, {100.0}).empty());
+  EXPECT_TRUE(Solve({}, {100.0}).empty());
 }
 
 TEST(MaxMinTest, SingleFlowTakesWholeLink) {
-  const auto rates = SolveMaxMin({{1.0, kUnlimitedDemand, {0}}}, {100.0});
+  const auto rates = Solve({{1.0, kUnlimitedDemand, {0}}}, {100.0});
   ASSERT_EQ(rates.size(), 1u);
   EXPECT_DOUBLE_EQ(rates[0], 100.0);
 }
 
 TEST(MaxMinTest, SingleFlowCappedByDemand) {
-  const auto rates = SolveMaxMin({{1.0, 30.0, {0}}}, {100.0});
+  const auto rates = Solve({{1.0, 30.0, {0}}}, {100.0});
   EXPECT_DOUBLE_EQ(rates[0], 30.0);
 }
 
 TEST(MaxMinTest, TwoEqualFlowsSplitEvenly) {
-  const auto rates = SolveMaxMin({{1.0, kUnlimitedDemand, {0}}, {1.0, kUnlimitedDemand, {0}}},
+  const auto rates = Solve({{1.0, kUnlimitedDemand, {0}}, {1.0, kUnlimitedDemand, {0}}},
                                  {100.0});
   EXPECT_DOUBLE_EQ(rates[0], 50.0);
   EXPECT_DOUBLE_EQ(rates[1], 50.0);
@@ -34,14 +44,14 @@ TEST(MaxMinTest, TwoEqualFlowsSplitEvenly) {
 
 TEST(MaxMinTest, WeightsSplitProportionally) {
   const auto rates =
-      SolveMaxMin({{3.0, kUnlimitedDemand, {0}}, {1.0, kUnlimitedDemand, {0}}}, {100.0});
+      Solve({{3.0, kUnlimitedDemand, {0}}, {1.0, kUnlimitedDemand, {0}}}, {100.0});
   EXPECT_DOUBLE_EQ(rates[0], 75.0);
   EXPECT_DOUBLE_EQ(rates[1], 25.0);
 }
 
 TEST(MaxMinTest, SmallDemandFlowReleasesShareToOthers) {
   // Classic max-min: demands {10, inf, inf} on a 100 link -> {10, 45, 45}.
-  const auto rates = SolveMaxMin(
+  const auto rates = Solve(
       {{1.0, 10.0, {0}}, {1.0, kUnlimitedDemand, {0}}, {1.0, kUnlimitedDemand, {0}}}, {100.0});
   EXPECT_DOUBLE_EQ(rates[0], 10.0);
   EXPECT_DOUBLE_EQ(rates[1], 45.0);
@@ -52,7 +62,7 @@ TEST(MaxMinTest, TextbookTwoLinkExample) {
   // Link 0 cap 10 shared by flows A (link 0) and B (links 0,1);
   // link 1 cap 4 shared by B and C (link 1).
   // B is bottlenecked on link 1 with C: B=C=2; A gets 10-2=8.
-  const auto rates = SolveMaxMin(
+  const auto rates = Solve(
       {{1.0, kUnlimitedDemand, {0}}, {1.0, kUnlimitedDemand, {0, 1}}, {1.0, kUnlimitedDemand, {1}}},
       {10.0, 4.0});
   EXPECT_DOUBLE_EQ(rates[1], 2.0);
@@ -62,30 +72,30 @@ TEST(MaxMinTest, TextbookTwoLinkExample) {
 
 TEST(MaxMinTest, ZeroCapacityLinkKillsFlow) {
   const auto rates =
-      SolveMaxMin({{1.0, kUnlimitedDemand, {0, 1}}, {1.0, kUnlimitedDemand, {0}}}, {100.0, 0.0});
+      Solve({{1.0, kUnlimitedDemand, {0, 1}}, {1.0, kUnlimitedDemand, {0}}}, {100.0, 0.0});
   EXPECT_DOUBLE_EQ(rates[0], 0.0);
   EXPECT_DOUBLE_EQ(rates[1], 100.0);
 }
 
 TEST(MaxMinTest, ZeroDemandFlowGetsNothing) {
   const auto rates =
-      SolveMaxMin({{1.0, 0.0, {0}}, {1.0, kUnlimitedDemand, {0}}}, {100.0});
+      Solve({{1.0, 0.0, {0}}, {1.0, kUnlimitedDemand, {0}}}, {100.0});
   EXPECT_DOUBLE_EQ(rates[0], 0.0);
   EXPECT_DOUBLE_EQ(rates[1], 100.0);
 }
 
 TEST(MaxMinTest, InvalidLinkIndexKillsFlowSafely) {
-  const auto rates = SolveMaxMin({{1.0, kUnlimitedDemand, {7}}}, {100.0});
+  const auto rates = Solve({{1.0, kUnlimitedDemand, {7}}}, {100.0});
   EXPECT_DOUBLE_EQ(rates[0], 0.0);
 }
 
 TEST(MaxMinTest, DuplicateLinkEntriesCountOnce) {
-  const auto rates = SolveMaxMin({{1.0, kUnlimitedDemand, {0, 0, 0}}}, {100.0});
+  const auto rates = Solve({{1.0, kUnlimitedDemand, {0, 0, 0}}}, {100.0});
   EXPECT_DOUBLE_EQ(rates[0], 100.0);
 }
 
 TEST(MaxMinTest, FlowWithNoLinksGetsDemand) {
-  const auto rates = SolveMaxMin({{1.0, 42.0, {}}}, {100.0});
+  const auto rates = Solve({{1.0, 42.0, {}}}, {100.0});
   EXPECT_DOUBLE_EQ(rates[0], 42.0);
 }
 
@@ -102,7 +112,7 @@ TEST(MaxMinTest, ParkingLotTopology) {
     }
     flows.push_back(f);
   }
-  const auto rates = SolveMaxMin(flows, {12.0, 12.0, 12.0, 12.0});
+  const auto rates = Solve(flows, {12.0, 12.0, 12.0, 12.0});
   for (int i = 0; i < 4; ++i) {
     EXPECT_NEAR(rates[static_cast<size_t>(i)], 3.0, 1e-9);
   }
@@ -137,7 +147,7 @@ TEST_P(MaxMinPropertyTest, InvariantsHold) {
     }
   }
 
-  const auto rates = SolveMaxMin(flows, caps);
+  const auto rates = Solve(flows, caps);
   ASSERT_EQ(rates.size(), flows.size());
 
   // Invariant 1: non-negative, demand-capped rates.

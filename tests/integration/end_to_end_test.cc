@@ -23,7 +23,7 @@ TEST(EndToEndTest, OperatorStoryDetectDiagnoseRemediate) {
   // it, root cause names the tenant, the manager remediates, SLOs recover.
   HostNetwork::Options options;
   options.manager.mode = manager::ManagerConfig::Mode::kStatic;
-  options.start_manager = false;
+  options.autostart = HostNetwork::Autostart::kCollectorOnly;
   HostNetwork host(options);
   const auto& server = host.server();
   auto& mgr = host.manager();
@@ -87,8 +87,7 @@ TEST(EndToEndTest, OperatorStoryDetectDiagnoseRemediate) {
 
 TEST(EndToEndTest, ProbeIntentPredictsAdmission) {
   HostNetwork::Options options;
-  options.start_collector = false;
-  options.start_manager = false;
+  options.autostart = HostNetwork::Autostart::kNone;
   HostNetwork host(options);
   auto& mgr = host.manager();
   const auto tenant = mgr.RegisterTenant("t");
@@ -115,8 +114,7 @@ TEST(EndToEndTest, ProbeIntentPredictsAdmission) {
 
 TEST(EndToEndTest, BatchLimitsApplyAtomically) {
   HostNetwork::Options options;
-  options.start_collector = false;
-  options.start_manager = false;
+  options.autostart = HostNetwork::Autostart::kNone;
   HostNetwork host(options);
   const auto& server = host.server();
   const auto path = *host.fabric().Route(server.ssds[0], server.dimms[0]);
@@ -140,8 +138,7 @@ TEST(EndToEndTest, BatchLimitsApplyAtomically) {
 
 TEST(EndToEndTest, WorkConservingSplitsSlackByTenantWeight) {
   HostNetwork::Options options;
-  options.start_collector = false;
-  options.start_manager = false;
+  options.autostart = HostNetwork::Autostart::kNone;
   options.manager.mode = manager::ManagerConfig::Mode::kWorkConserving;
   HostNetwork host(options);
   const auto& server = host.server();
@@ -186,8 +183,7 @@ TEST(EndToEndTest, HeartbeatMeshWithUnreachableParticipantDegrades) {
   // path crosses both NICs — actually reachable; instead verify a
   // one-component mesh yields zero pairs and never crashes).
   HostNetwork::Options options;
-  options.start_collector = false;
-  options.start_manager = false;
+  options.autostart = HostNetwork::Autostart::kNone;
   HostNetwork host(options);
   anomaly::HeartbeatMesh::Config config;
   config.participants = {host.server().nics[0]};
@@ -202,8 +198,7 @@ TEST(EndToEndTest, HeartbeatMeshWithUnreachableParticipantDegrades) {
 TEST(EndToEndTest, KvOverCxlHostWorks) {
   // The CXL preset composes with everything else.
   HostNetwork::Options options;
-  options.start_collector = false;
-  options.start_manager = false;
+  options.autostart = HostNetwork::Autostart::kNone;
   HostNetwork host(topology::CxlPooledServer(), options);
   workload::KvClient::Config kv_config;
   kv_config.client = host.server().external_hosts[0];
@@ -219,7 +214,7 @@ TEST(EndToEndTest, DetectorBankOverThroughputCatchesPacketFlood) {
   // throughput series is not. The fine collector + EWMA bank catches a
   // packet-level aggressor.
   HostNetwork::Options options;
-  options.start_manager = false;
+  options.autostart = HostNetwork::Autostart::kCollectorOnly;
   options.telemetry.period = TimeNs::Millis(1);
   HostNetwork host(options);
   const auto& server = host.server();

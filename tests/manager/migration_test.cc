@@ -10,8 +10,7 @@ using sim::Bandwidth;
 
 HostNetwork::Options Quiet() {
   HostNetwork::Options options;
-  options.start_collector = false;
-  options.start_manager = false;
+  options.autostart = HostNetwork::Autostart::kNone;
   return options;
 }
 

@@ -21,8 +21,7 @@ struct Fixture {
   explicit Fixture(double promise_gbps, ManagerConfig::Mode mode,
                    std::optional<TimeNs> max_latency = std::nullopt) {
     HostNetwork::Options options;
-    options.start_collector = false;
-    options.start_manager = false;
+    options.autostart = HostNetwork::Autostart::kNone;
     options.manager.mode = mode;
     host = std::make_unique<HostNetwork>(options);
     manager = &host->manager();
@@ -106,8 +105,7 @@ TEST(SloMonitorTest, FlagsLatencyViolation) {
 
 TEST(SloMonitorTest, UnattachedAllocationSkipped) {
   HostNetwork::Options options;
-  options.start_collector = false;
-  options.start_manager = false;
+  options.autostart = HostNetwork::Autostart::kNone;
   HostNetwork host(options);
   auto& manager = host.manager();
   const auto tenant = manager.RegisterTenant("t");

@@ -1,0 +1,121 @@
+#include "src/obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/obs/tracer.h"
+#include "src/sim/simulation.h"
+
+namespace mihn::obs {
+namespace {
+
+using sim::TimeNs;
+
+// Records a small, fully-determined trace: one span crossing virtual time
+// (opened at 2us, closed at 4.5us) with two args, and two counter samples.
+void RecordFixtureTrace(sim::Simulation& sim, Tracer& tracer) {
+  std::unique_ptr<SpanGuard> window;
+  sim.ScheduleAt(TimeNs::Micros(1),
+                 [&] { MIHN_TRACE_COUNTER(&tracer, "sim", "sim.queue", 1); });
+  sim.ScheduleAt(TimeNs::Micros(2), [&] {
+    window = std::make_unique<SpanGuard>(&tracer, "fabric", "fabric.solve");
+    window->Arg("flows", 2.0);
+    window->Arg("rounds", 1.0);
+  });
+  sim.ScheduleAt(TimeNs::Micros(3),
+                 [&] { MIHN_TRACE_COUNTER(&tracer, "sim", "sim.queue", 3); });
+  sim.ScheduleAt(TimeNs::Nanos(4500), [&] { window.reset(); });
+  sim.Run();
+}
+
+// Golden file: the Chrome trace-event export is a documented, deterministic
+// format — any byte-level change here is an intentional format change and
+// must update DESIGN.md §7 alongside this golden.
+TEST(ChromeTraceExportTest, MatchesGolden) {
+  sim::Simulation sim;
+  TraceConfig config;
+  config.enabled = true;
+  Tracer tracer(config, &sim);
+  RecordFixtureTrace(sim, tracer);
+  const std::string golden =
+      "{\n"
+      "\"displayTimeUnit\": \"ms\",\n"
+      "\"traceEvents\": [\n"
+      R"json({"name": "process_name", "ph": "M", "pid": 0, "tid": 0, "args": {"name": "mihn (virtual time)"}})json"
+      ",\n"
+      R"json({"name": "thread_name", "ph": "M", "pid": 0, "tid": 0, "args": {"name": "fabric"}})json"
+      ",\n"
+      R"json({"name": "thread_name", "ph": "M", "pid": 0, "tid": 1, "args": {"name": "sim"}})json"
+      ",\n"
+      R"json({"name": "fabric.solve", "cat": "fabric", "ph": "X", "pid": 0, "tid": 0, "ts": 2.000, "dur": 2.500, "args": {"flows": 2, "rounds": 1}})json"
+      ",\n"
+      R"json({"name": "sim.queue", "cat": "sim", "ph": "C", "pid": 0, "tid": 1, "ts": 1.000, "args": {"value": 1}})json"
+      ",\n"
+      R"json({"name": "sim.queue", "cat": "sim", "ph": "C", "pid": 0, "tid": 1, "ts": 3.000, "args": {"value": 3}})json"
+      "\n"
+      "]\n"
+      "}\n";
+  EXPECT_EQ(ChromeTraceJson(tracer), golden);
+}
+
+TEST(ChromeTraceExportTest, EmptyTracerStillProducesValidEnvelope) {
+  Tracer tracer;  // Disabled: no records, no tracks.
+  const std::string json = ChromeTraceJson(tracer);
+  EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\": \"X\""), std::string::npos);
+}
+
+TEST(ChromeTraceExportTest, ProfilingModeRebasesWallTimeAndKeepsVirtualStamp) {
+  TraceConfig config;
+  config.enabled = true;
+  config.profiling = true;
+  Tracer tracer(config);
+  {
+    MIHN_TRACE_SCOPE(&tracer, "t", "t.s");
+  }
+  const std::string json = ChromeTraceJson(tracer);
+  EXPECT_NE(json.find("wall-clock profile"), std::string::npos);
+  // The deterministic virtual stamp rides along for cross-referencing.
+  EXPECT_NE(json.find("\"vts_ns\": 0"), std::string::npos);
+  // Rebased to the first stamp: the single span starts at ts 0.
+  EXPECT_NE(json.find("\"ts\": 0.000"), std::string::npos);
+}
+
+TEST(ChromeTraceExportTest, EscapesSpecialCharactersInNames) {
+  Tracer tracer(TraceConfig{.enabled = true});
+  {
+    MIHN_TRACE_SCOPE(&tracer, "cat", "quote\"and\\slash");
+  }
+  const std::string json = ChromeTraceJson(tracer);
+  EXPECT_NE(json.find(R"(quote\"and\\slash)"), std::string::npos);
+}
+
+TEST(TraceSummaryTest, RollsUpSpansCountersAndDrops) {
+  sim::Simulation sim;
+  TraceConfig config;
+  config.enabled = true;
+  config.counter_capacity = 2;
+  Tracer tracer(config, &sim);
+  sim.ScheduleAt(TimeNs::Micros(1), [&] {
+    MIHN_TRACE_SCOPE(&tracer, "t", "t.work");
+    MIHN_TRACE_COUNTER(&tracer, "t", "t.depth", 4);
+    MIHN_TRACE_COUNTER(&tracer, "t", "t.depth", 9);
+    MIHN_TRACE_COUNTER(&tracer, "t", "t.depth", 6);
+  });
+  sim.Run();
+  const std::string summary = Summary(tracer);
+  EXPECT_NE(summary.find("t.work: n=1"), std::string::npos);
+  EXPECT_NE(summary.find("t.depth: n=2 last=6 min=6 max=9"), std::string::npos);
+  EXPECT_NE(summary.find("dropped: spans=0 counters=1"), std::string::npos);
+}
+
+TEST(TraceSummaryTest, EmptyTracerSaysSo) {
+  Tracer tracer;
+  EXPECT_NE(Summary(tracer).find("(no records)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mihn::obs

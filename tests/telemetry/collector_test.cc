@@ -13,8 +13,7 @@ using sim::TimeNs;
 
 HostNetwork::Options NoAutoStart() {
   HostNetwork::Options options;
-  options.start_collector = false;
-  options.start_manager = false;
+  options.autostart = HostNetwork::Autostart::kNone;
   return options;
 }
 

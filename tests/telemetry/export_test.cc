@@ -11,8 +11,7 @@ namespace {
 
 HostNetwork::Options NoAutoStart() {
   HostNetwork::Options options;
-  options.start_collector = false;
-  options.start_manager = false;
+  options.autostart = HostNetwork::Autostart::kNone;
   return options;
 }
 

@@ -14,8 +14,7 @@ using sim::TimeNs;
 HostNetwork::Options DgxQuiet() {
   HostNetwork::Options options;
   options.preset = HostNetwork::Preset::kDgxClass;
-  options.start_collector = false;
-  options.start_manager = false;
+  options.autostart = HostNetwork::Autostart::kNone;
   return options;
 }
 
