@@ -585,6 +585,9 @@ void Fabric::Recompute() {
     MIHN_TRACE_COUNTER(tracer_, "fabric", "fabric.flows", flows_.size());
     MIHN_TRACE_COUNTER(tracer_, "fabric", "fabric.recomputes", recompute_count_);
     MIHN_TRACE_COUNTER(tracer_, "fabric", "fabric.ddio_spill_bps", spill_bps);
+    MIHN_TRACE_COUNTER(tracer_, "fabric", "fabric.route_cache_hits", router_.cache_stats().hits);
+    MIHN_TRACE_COUNTER(tracer_, "fabric", "fabric.route_cache_misses",
+                       router_.cache_stats().misses);
   }
   mutations_at_last_solve_ = mutation_count_;
 #ifdef MIHN_ENABLE_INVARIANT_CHECKS

@@ -81,6 +81,11 @@ SubmitResult Manager::SubmitIntent(fabric::TenantId tenant, PerformanceTarget ta
     place_span.Arg("candidates", static_cast<double>(placement->candidates_considered));
     place_span.Arg("path_hops", static_cast<double>(placement->path.hops.size()));
     place_span.Arg("max_utilization", placement->max_utilization);
+    const auto& route_cache = scheduler_.router().cache_stats();
+    MIHN_TRACE_COUNTER(fabric_.tracer(), "manager", "manager.route_cache_hits",
+                       route_cache.hits);
+    MIHN_TRACE_COUNTER(fabric_.tracer(), "manager", "manager.route_cache_misses",
+                       route_cache.misses);
   }
   const AllocationId id = next_allocation_id_++;
   Allocation alloc;

@@ -53,6 +53,10 @@ class Scheduler {
 
   const SchedulerConfig& config() const { return config_; }
 
+  // The scheduler's private router (and its path-cache stats). Exposed so
+  // the manager can surface cache hit/miss counters on the place span.
+  const topology::Router& router() const { return router_; }
+
  private:
   const fabric::Fabric& fabric_;
   topology::Router router_;

@@ -25,8 +25,8 @@ Tracer* Tracer::Disabled() {
   return &inert;
 }
 
-Tracer::Tracer(TraceConfig config, const sim::Simulation* sim)
-    : config_(config), sim_(sim), enabled_(config.enabled) {
+Tracer::Tracer(TraceConfig config, const sim::VirtualClock* clock)
+    : config_(config), clock_(clock), enabled_(config.enabled) {
   if (enabled_) {
     // The one allocation of the tracer's lifetime. Zero-capacity rings
     // would make every record a drop; clamp to at least one slot.

@@ -99,11 +99,12 @@ class Tracer {
   // A disabled, unbound tracer (records nothing, allocates nothing).
   Tracer() = default;
 
-  // |sim| supplies virtual timestamps; may be null for standalone use
-  // (e.g. a pure-solver bench), in which case virtual stamps are zero and
-  // only profiling mode yields a usable timeline. Buffers are allocated
-  // here iff |config.enabled|.
-  explicit Tracer(TraceConfig config, const sim::Simulation* sim = nullptr);
+  // |clock| supplies virtual timestamps (pass the Simulation — or any
+  // sim::VirtualClock, e.g. a ReferenceSimulation in differential tests);
+  // may be null for standalone use (e.g. a pure-solver bench), in which
+  // case virtual stamps are zero and only profiling mode yields a usable
+  // timeline. Buffers are allocated here iff |config.enabled|.
+  explicit Tracer(TraceConfig config, const sim::VirtualClock* clock = nullptr);
 
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
@@ -114,7 +115,7 @@ class Tracer {
 
   // Rebinds the virtual clock source (used when a tracer outlives or
   // predates its simulation).
-  void BindSimulation(const sim::Simulation* sim) { sim_ = sim; }
+  void BindSimulation(const sim::VirtualClock* clock) { clock_ = clock; }
 
   // -- Recording (macro entry points) -----------------------------------------
   // Fills |span|'s start stamps. No-op when disabled.
@@ -148,11 +149,11 @@ class Tracer {
 
  private:
   sim::TimeNs VirtualNow() const {
-    return sim_ != nullptr ? sim_->Now() : sim::TimeNs::Zero();
+    return clock_ != nullptr ? clock_->VirtualNow() : sim::TimeNs::Zero();
   }
 
   TraceConfig config_;
-  const sim::Simulation* sim_ = nullptr;
+  const sim::VirtualClock* clock_ = nullptr;
   bool enabled_ = false;  // Cached: the one flag the macros branch on.
 
   // Ring buffers: fixed capacity reserved at construction, wrap-around

@@ -1,0 +1,182 @@
+// InlineFn: a move-only `void()` callable with small-buffer storage, built
+// for the event engine's hot path.
+//
+// std::function was the wrong tool for pooled events: it requires a
+// copy-constructible target (so pooled slots could never hold move-only
+// captures), and any capture list beyond its small-object threshold heap-
+// allocates — once at construction and again on every copy, which the old
+// priority-queue engine performed on every top(). InlineFn fixes the
+// contract: the callable is move-only, lives entirely inside a fixed
+// kEventFnCapacity-byte buffer when it fits (every scheduling closure in
+// this repo does), and moving it is a bounded memcpy-sized operation with
+// zero heap traffic. Oversized or over-aligned callables still work — they
+// are boxed on the heap at construction time — so call sites never hit a
+// hard size cliff; the engine's allocation-free guarantee is enforced by
+// tests/sim/engine_alloc_test.cc, not by rejecting code.
+
+#ifndef MIHN_SRC_SIM_INLINE_FN_H_
+#define MIHN_SRC_SIM_INLINE_FN_H_
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace mihn::sim {
+
+// Inline storage budget for event callbacks. Sized for the largest closure
+// the repo schedules today: the fabric's completion event captures a
+// std::function callback (32 bytes) plus a TransferResult (32 bytes).
+inline constexpr size_t kEventFnCapacity = 64;
+
+template <size_t kCapacity = kEventFnCapacity>
+class InlineFn {
+ public:
+  InlineFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors std::function —
+  // scheduling call sites pass lambdas directly.
+  InlineFn(F&& f) {
+    Construct(std::forward<F>(f));
+  }
+
+  // Replaces the current occupant (if any) with |f|, constructed directly
+  // in the buffer — the zero-copy path the engine's scheduling fast path
+  // uses to build a closure straight into its pooled slot. Accepts another
+  // InlineFn too (collapses to move-assignment rather than nesting).
+  template <typename F>
+  void Emplace(F&& f) {
+    if constexpr (std::is_same_v<std::decay_t<F>, InlineFn>) {
+      *this = std::forward<F>(f);
+    } else {
+      Reset();
+      Construct(std::forward<F>(f));
+    }
+  }
+
+  InlineFn(InlineFn&& other) noexcept { MoveFrom(other); }
+
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  ~InlineFn() { Reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  // True when a callable of type F lives in the inline buffer (no heap).
+  template <typename F>
+  static constexpr bool StoresInline() {
+    return sizeof(std::decay_t<F>) <= kCapacity &&
+           alignof(std::decay_t<F>) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<std::decay_t<F>>;
+  }
+
+  // True when this instance's callable is inline (tests).
+  bool is_inline() const { return ops_ != nullptr && ops_->inline_storage; }
+
+ private:
+  struct Ops {
+    void (*invoke)(unsigned char*);
+    // Move-constructs dst from src's buffer and destroys src's occupant.
+    void (*relocate)(unsigned char* dst, unsigned char* src);
+    void (*destroy)(unsigned char*);
+    bool inline_storage;
+    // Trivially-copyable inline occupant: relocation is a plain memcpy and
+    // destruction a no-op, so moves skip the indirect thunk call entirely.
+    // Nearly every scheduling closure (pointer + POD captures) qualifies.
+    bool trivial;
+  };
+
+  template <typename F>
+  static F* Occupant(unsigned char* storage) {
+    return std::launder(reinterpret_cast<F*>(storage));
+  }
+
+  template <typename F>
+  static constexpr Ops kInlineOps = {
+      [](unsigned char* s) { (*Occupant<F>(s))(); },
+      [](unsigned char* dst, unsigned char* src) {
+        F* from = Occupant<F>(src);
+        ::new (static_cast<void*>(dst)) F(std::move(*from));
+        from->~F();
+      },
+      [](unsigned char* s) { Occupant<F>(s)->~F(); },
+      /*inline_storage=*/true,
+      /*trivial=*/std::is_trivially_copyable_v<F>,
+  };
+
+  template <typename F>
+  static constexpr Ops kBoxedOps = {
+      [](unsigned char* s) { (**Occupant<F*>(s))(); },
+      [](unsigned char* dst, unsigned char* src) {
+        ::new (static_cast<void*>(dst)) F*(*Occupant<F*>(src));
+      },
+      [](unsigned char* s) { delete *Occupant<F*>(s); },
+      /*inline_storage=*/false,
+      /*trivial=*/false,  // Destruction must delete the box.
+  };
+
+  void MoveFrom(InlineFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      if (ops_->trivial) {
+        // Whole-buffer copy: branch-predictable, no indirect call, and the
+        // occupant's true size never matters for correctness.
+        std::memcpy(storage_, other.storage_, kCapacity);
+      } else {
+        ops_->relocate(storage_, other.storage_);
+      }
+      other.ops_ = nullptr;
+    }
+  }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      if (!ops_->trivial) {
+        ops_->destroy(storage_);
+      }
+      ops_ = nullptr;
+    }
+  }
+
+  template <typename F>
+  void Construct(F&& f) {
+    using Target = std::decay_t<F>;
+    if constexpr (StoresInline<Target>()) {
+      ::new (static_cast<void*>(storage_)) Target(std::forward<F>(f));
+      ops_ = &kInlineOps<Target>;
+    } else {
+      // Boxed fallback: the buffer holds a single owning pointer. The one
+      // allocation happens here, at the scheduling site, never in dispatch.
+      ::new (static_cast<void*>(storage_))
+          Target*(new Target(std::forward<F>(f)));
+      ops_ = &kBoxedOps<Target>;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[kCapacity];
+};
+
+// The event engine's callback type (see src/sim/simulation.h).
+using EventFn = InlineFn<kEventFnCapacity>;
+
+}  // namespace mihn::sim
+
+#endif  // MIHN_SRC_SIM_INLINE_FN_H_

@@ -4,74 +4,73 @@
 
 namespace mihn::sim {
 
-Simulation::Simulation(uint64_t seed) : root_rng_(seed) {}
-
-EventHandle Simulation::ScheduleAt(TimeNs at, std::function<void()> fn, const char* label) {
-  if (at < now_) {
-    at = now_;
-  }
-  auto flag = std::make_shared<bool>(false);
-  queue_.push(Event{at, next_seq_++, std::move(fn), flag, label});
-  return EventHandle(std::move(flag));
+Simulation::Simulation(uint64_t seed) : root_rng_(seed) {
+  pool_.BindQueue(&queue_);
 }
 
-EventHandle Simulation::ScheduleAfter(TimeNs delay, std::function<void()> fn,
-                                      const char* label) {
-  return ScheduleAt(now_ + delay, std::move(fn), label);
-}
-
-EventHandle Simulation::SchedulePeriodic(TimeNs period, std::function<void()> fn,
-                                         const char* label) {
-  auto flag = std::make_shared<bool>(false);
-  ArmPeriodic(period, std::make_shared<std::function<void()>>(std::move(fn)), flag, label);
-  return EventHandle(std::move(flag));
-}
-
-void Simulation::ArmPeriodic(TimeNs period, std::shared_ptr<std::function<void()>> fn,
-                             std::shared_ptr<bool> flag, const char* label) {
-  queue_.push(Event{now_ + period, next_seq_++,
-                    [this, period, fn, flag, label] {
-                      if (*flag) {
-                        return;
-                      }
-                      (*fn)();
-                      if (*flag) {
-                        return;
-                      }
-                      ArmPeriodic(period, fn, flag, label);
-                    },
-                    flag, label});
-}
-
-EventHandle Simulation::AddPreAdvanceHook(std::function<void()> fn) {
-  auto flag = std::make_shared<bool>(false);
-  pre_advance_hooks_.emplace_back(flag, std::move(fn));
-  return EventHandle(std::move(flag));
+EventHandle Simulation::AddPreAdvanceHook(EventFn fn) {
+  const uint32_t index = pool_.Allocate(std::move(fn), nullptr, EventPool::kHook);
+  pre_advance_hooks_.push_back(index);
+  return EventHandle(&pool_, index, pool_.generation(index));
 }
 
 bool Simulation::FirePreAdvanceHooks() {
   const uint64_t seq_before = next_seq_;
-  // Index-based: a hook may register further hooks (reallocating the vector),
-  // so take a copy of each callback before invoking it.
+  // Index-based: a hook may register further hooks (growing the vector) or
+  // schedule events (growing the pool slab). Payload chunks are
+  // address-stable, so the callback runs in place either way.
   for (size_t i = 0; i < pre_advance_hooks_.size(); ++i) {
-    if (*pre_advance_hooks_[i].first) {
+    const uint32_t index = pre_advance_hooks_[i];
+    if ((pool_.meta(index).flags & EventPool::kCancelled) != 0) {
       continue;
     }
-    const std::function<void()> fn = pre_advance_hooks_[i].second;
-    fn();
+    pool_.payload(index).fn();
   }
-  std::erase_if(pre_advance_hooks_, [](const auto& hook) { return *hook.first; });
+  std::erase_if(pre_advance_hooks_, [this](uint32_t index) {
+    if ((pool_.meta(index).flags & EventPool::kCancelled) == 0) {
+      return false;
+    }
+    pool_.Free(index);
+    return true;
+  });
   return next_seq_ != seq_before;
+}
+
+void Simulation::PurgeCancelledMin() {
+  // Only entries cancelled after reaching the active heap (or the overflow
+  // tier) surface here; cancellations caught in unsorted buckets were
+  // swap-removed and reclaimed inside Cancel() itself.
+  while (!queue_.empty()) {
+    const uint32_t index = queue_.Min().slot;
+    if ((pool_.meta(index).flags & EventPool::kCancelled) == 0) {
+      return;
+    }
+    queue_.PopMin();
+    pool_.UnmarkQueued(index);
+    pool_.Free(index);
+  }
+}
+
+void Simulation::FinishFired(uint32_t index, bool periodic) {
+  if (periodic && (pool_.meta(index).flags & EventPool::kCancelled) == 0) {
+    // Re-arm in place: the callback never left its slot. The re-arm draws
+    // its sequence number after the callback ran, so anything the callback
+    // scheduled at the same future timestamp fires before the next
+    // periodic tick — exactly as if the tick were re-scheduled by hand at
+    // the end of the callback.
+    pool_.MarkQueued(index);
+    queue_.Push({now_ + pool_.payload(index).period, next_seq_++, index});
+    return;
+  }
+  pool_.Free(index);
 }
 
 bool Simulation::Step() {
   for (;;) {
     // Drop leading cancelled events so the advance decision below sees the
     // real next event time.
-    while (!queue_.empty() && queue_.top().cancelled && *queue_.top().cancelled) {
-      queue_.pop();
-    }
-    if (!pre_advance_hooks_.empty() && (queue_.empty() || queue_.top().at > now_)) {
+    PurgeCancelledMin();
+    if (!pre_advance_hooks_.empty() && (queue_.empty() || queue_.Min().at > now_)) {
       // End of this timestamp: let hooks settle coalesced work. They may
       // schedule events (possibly at now_), so re-evaluate if they did.
       if (FirePreAdvanceHooks()) {
@@ -81,22 +80,38 @@ bool Simulation::Step() {
     if (queue_.empty()) {
       return false;
     }
-    // priority_queue::top returns const&; the event is copied out before pop
-    // so the callback can schedule new events (which may reallocate the heap).
-    Event ev = queue_.top();
-    queue_.pop();
-    if (ev.cancelled && *ev.cancelled) {
+    const CalendarEntry entry = queue_.PopMin();
+    if (!pool_.UnmarkQueued(entry.slot)) {
+      // Cancelled after the purge above (by a pre-advance hook).
+      pool_.Free(entry.slot);
       continue;
     }
-    now_ = ev.at;
+    now_ = entry.at;
     ++events_executed_;
+    // The callback runs in place — payload chunks are address-stable, so a
+    // callback that schedules events (growing the pool) cannot move itself
+    // mid-execution, and a periodic's closure survives its own firing
+    // without a move-out/restore round trip. The label is copied out for
+    // the observer's end callback (the slot may be retired by then).
+    const bool periodic = (pool_.meta(entry.slot).flags & EventPool::kPeriodic) != 0;
+    EventPool::Payload& p = pool_.payload(entry.slot);
+    const char* label = p.label;
+    if (!queue_.empty()) {
+      // Warm the next event's slot lines while this callback runs; on deep
+      // queues the next slot is a near-certain pair of cache misses
+      // otherwise. (Min() also settles the queue's cursor — work the next
+      // Step would do anyway, just moved under the callback's shadow.)
+      pool_.Prefetch(queue_.Min().slot);
+    }
     if (observer_ != nullptr) {
-      observer_->OnEventBegin(ev.label, now_, queue_.size());
-      ev.fn();
-      observer_->OnEventEnd(ev.label, now_);
+      observer_->OnEventBegin(label, now_, pool_.live_pending());
+      p.fn();
+      FinishFired(entry.slot, periodic);
+      observer_->OnEventEnd(label, now_);
       return true;
     }
-    ev.fn();
+    p.fn();
+    FinishFired(entry.slot, periodic);
     return true;
   }
 }
@@ -111,10 +126,8 @@ TimeNs Simulation::Run() {
 TimeNs Simulation::RunUntil(TimeNs deadline) {
   stopped_ = false;
   while (!stopped_) {
-    while (!queue_.empty() && queue_.top().cancelled && *queue_.top().cancelled) {
-      queue_.pop();
-    }
-    if (queue_.empty() || queue_.top().at > deadline) {
+    PurgeCancelledMin();
+    if (queue_.empty() || queue_.Min().at > deadline) {
       // Stopping short of the next event (or out of events) still advances
       // the clock below — give pre-advance hooks their end-of-timestamp
       // flush first; they may schedule events within the deadline.

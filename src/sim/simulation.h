@@ -5,42 +5,40 @@
 // queue in (time, insertion-order) order, advancing the clock to each
 // event's timestamp. Ties are broken by insertion order, which makes runs
 // fully deterministic.
+//
+// Internals (this is the hot path bounding every simulated scenario — see
+// DESIGN.md §5): events live in a pooled slab (src/sim/event_pool.h) and
+// carry a move-only small-buffer callback (src/sim/inline_fn.h); the queue
+// is a two-level calendar of 24-byte entries (src/sim/calendar_queue.h);
+// periodic events re-arm their own pooled slot in place. Steady-state
+// dispatch — schedule, fire, cancel, re-arm — performs zero heap
+// allocations (proven by tests/sim/engine_alloc_test.cc). The previous
+// std::function + priority_queue engine is preserved verbatim as
+// ReferenceSimulation (src/sim/reference_simulation.h); a differential test
+// drives both with identical scripts and asserts identical firing sequences
+// and byte-identical trace exports.
 
 #ifndef MIHN_SRC_SIM_SIMULATION_H_
 #define MIHN_SRC_SIM_SIMULATION_H_
 
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
+#include "src/sim/calendar_queue.h"
+#include "src/sim/event_pool.h"
+#include "src/sim/inline_fn.h"
 #include "src/sim/random.h"
 #include "src/sim/time.h"
 
 namespace mihn::sim {
 
-// Cancellation handle for a scheduled event. Copyable; cancelling any copy
-// cancels the event. A default-constructed handle is inert.
-class EventHandle {
+// Read-only view of a virtual clock. Both Simulation and
+// ReferenceSimulation implement it; obs::Tracer stamps records through this
+// interface so it can observe either engine.
+class VirtualClock {
  public:
-  EventHandle() = default;
-
-  // Prevents the event from firing. Safe to call after the event has fired
-  // or more than once.
-  void Cancel() {
-    if (cancelled_) {
-      *cancelled_ = true;
-    }
-  }
-
-  bool IsCancelled() const { return cancelled_ && *cancelled_; }
-
- private:
-  friend class Simulation;
-  explicit EventHandle(std::shared_ptr<bool> flag) : cancelled_(std::move(flag)) {}
-
-  std::shared_ptr<bool> cancelled_;
+  virtual ~VirtualClock() = default;
+  virtual TimeNs VirtualNow() const = 0;
 };
 
 // Observer of event execution, for tracing/profiling (see src/obs/). The
@@ -52,8 +50,8 @@ class EventObserver {
  public:
   virtual ~EventObserver() = default;
   // |label| is the scheduling site's static tag (null for unlabeled
-  // events); |queue_depth| counts events still pending (the fired one
-  // excluded).
+  // events); |queue_depth| counts live events still pending (the fired one
+  // and cancelled-but-unreclaimed entries excluded).
   virtual void OnEventBegin(const char* label, TimeNs now, size_t queue_depth) = 0;
   virtual void OnEventEnd(const char* label, TimeNs now) = 0;
 };
@@ -61,8 +59,10 @@ class EventObserver {
 // The event loop. Not thread-safe: a simulation is single-threaded by
 // design (determinism), and benchmarks wanting parallelism run independent
 // Simulation instances.
-class Simulation {
+class Simulation : public VirtualClock {
  public:
+  using Handle = EventHandle;  // For code generic over engine type.
+
   // |seed| roots every Rng stream forked through ForkRng().
   explicit Simulation(uint64_t seed = 1);
 
@@ -71,22 +71,44 @@ class Simulation {
 
   // Current virtual time.
   TimeNs Now() const { return now_; }
+  TimeNs VirtualNow() const override { return now_; }
 
   // Schedules |fn| to run at absolute virtual time |at|. Scheduling in the
   // past (before Now()) is clamped to Now(): the event fires "immediately"
   // but still through the queue, preserving run-to-completion semantics.
   // |label| (a static string literal, or null) tags the event for the
-  // EventObserver — it is never copied.
-  EventHandle ScheduleAt(TimeNs at, std::function<void()> fn, const char* label = nullptr);
+  // EventObserver — it is never copied. Templated on the callable so the
+  // closure is constructed directly in its pooled slot (an EventFn argument
+  // collapses to a move).
+  template <typename F>
+  EventHandle ScheduleAt(TimeNs at, F&& fn, const char* label = nullptr) {
+    if (at < now_) {
+      at = now_;
+    }
+    const uint32_t index =
+        pool_.Allocate(std::forward<F>(fn), label, EventPool::kQueued);
+    queue_.Push({at, next_seq_++, index});
+    return EventHandle(&pool_, index, pool_.generation(index));
+  }
 
   // Schedules |fn| to run |delay| after Now().
-  EventHandle ScheduleAfter(TimeNs delay, std::function<void()> fn,
-                            const char* label = nullptr);
+  template <typename F>
+  EventHandle ScheduleAfter(TimeNs delay, F&& fn, const char* label = nullptr) {
+    return ScheduleAt(now_ + delay, std::forward<F>(fn), label);
+  }
 
   // Schedules |fn| every |period| starting at Now() + period, until the
-  // returned handle is cancelled or the simulation stops.
-  EventHandle SchedulePeriodic(TimeNs period, std::function<void()> fn,
-                               const char* label = nullptr);
+  // returned handle is cancelled or the simulation stops. The callback is
+  // stored once and the pooled slot re-armed in place per firing — no
+  // per-firing closure.
+  template <typename F>
+  EventHandle SchedulePeriodic(TimeNs period, F&& fn, const char* label = nullptr) {
+    const uint32_t index = pool_.Allocate(
+        std::forward<F>(fn), label, EventPool::kPeriodic | EventPool::kQueued);
+    pool_.payload(index).period = period;
+    queue_.Push({now_ + period, next_seq_++, index});
+    return EventHandle(&pool_, index, pool_.generation(index));
+  }
 
   // Installs (or, with null, removes) the event observer. The observer
   // must outlive the simulation or be removed first.
@@ -117,44 +139,43 @@ class Simulation {
   // later-time event observes them. Hooks must be idempotent; they may
   // schedule new events (scheduling re-runs the advance decision). Cancel
   // via the returned handle; a cancelled hook is compacted out lazily.
-  EventHandle AddPreAdvanceHook(std::function<void()> fn);
+  EventHandle AddPreAdvanceHook(EventFn fn);
 
   // Number of events executed so far (for tests and engine benchmarks).
   uint64_t events_executed() const { return events_executed_; }
 
-  // Number of events currently pending.
-  size_t pending_events() const { return queue_.size(); }
+  // Exact number of events currently pending: cancelled-but-unreclaimed
+  // queue entries are not counted (pre-advance hooks never are).
+  size_t pending_events() const { return pool_.live_pending(); }
+
+  // Pool slab high-water mark (tests/benchmarks).
+  size_t event_pool_capacity() const { return pool_.capacity(); }
+
+  // Pre-sizes the event pool and queue for |n| concurrent pending events,
+  // making steady-state dispatch allocation-free from the first event
+  // instead of after organic high-water warm-up. Optional; sized workloads
+  // (benchmarks, the allocation test) call it up front.
+  void ReserveEvents(size_t n) {
+    pool_.Reserve(n);
+    queue_.Reserve(n, n, n);
+  }
 
   // Derives a deterministic named random stream from the root seed.
   Rng ForkRng(uint64_t stream_id) const { return root_rng_.Fork(stream_id); }
 
  private:
-  struct Event {
-    TimeNs at;
-    uint64_t seq;  // Insertion order; breaks timestamp ties deterministically.
-    std::function<void()> fn;
-    std::shared_ptr<bool> cancelled;
-    const char* label;  // Static scheduling-site tag for the observer.
-  };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) {
-        return a.at > b.at;
-      }
-      return a.seq > b.seq;
-    }
-  };
-
   // Pops and executes the next event. Returns false if the queue is empty.
   // Fires pre-advance hooks before the clock moves past now_ (and before
   // concluding the queue is empty).
   bool Step();
 
-  // Pushes the next firing of a periodic callback. Each firing re-arms via a
-  // fresh closure so no event ever owns a reference to itself (a
-  // self-referential shared_ptr cycle would leak the closure).
-  void ArmPeriodic(TimeNs period, std::shared_ptr<std::function<void()>> fn,
-                   std::shared_ptr<bool> flag, const char* label);
+  // Drops leading cancelled entries, reclaiming their slots, so the
+  // advance decision sees the real next event time.
+  void PurgeCancelledMin();
+
+  // Post-callback bookkeeping for a fired slot: re-arm a live periodic in
+  // place or retire the slot (the callback never leaves its slot).
+  void FinishFired(uint32_t index, bool periodic);
 
   // Runs all live pre-advance hooks. Returns true if any hook scheduled a
   // new event (the caller must re-evaluate what to run next).
@@ -164,8 +185,9 @@ class Simulation {
   uint64_t next_seq_ = 0;
   uint64_t events_executed_ = 0;
   bool stopped_ = false;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
-  std::vector<std::pair<std::shared_ptr<bool>, std::function<void()>>> pre_advance_hooks_;
+  EventPool pool_;
+  CalendarQueue queue_;
+  std::vector<uint32_t> pre_advance_hooks_;  // Pool slot indices.
   EventObserver* observer_ = nullptr;
   Rng root_rng_;
 };

@@ -47,6 +47,56 @@ std::string Path::ToString(const Topology& topo) const {
 
 std::optional<Path> Router::ShortestPath(ComponentId src, ComponentId dst,
                                          const std::vector<LinkId>& excluded_links) const {
+  if (!excluded_links.empty()) {
+    // Exclusion sets are Yen-internal spur searches: high-cardinality keys
+    // with near-zero reuse. Caching them would only bloat the memo.
+    return ComputeShortestPath(src, dst, excluded_links);
+  }
+  const std::vector<Path>& paths = Cached(src, dst, 1);
+  if (paths.empty()) {
+    return std::nullopt;
+  }
+  return paths.front();
+}
+
+std::vector<Path> Router::KShortestPaths(ComponentId src, ComponentId dst, int k) const {
+  if (k <= 0) {
+    return {};
+  }
+  return Cached(src, dst, k);
+}
+
+const std::vector<Path>& Router::Cached(ComponentId src, ComponentId dst, int k) const {
+  if (cached_version_ != topo_.version()) {
+    if (!cache_.empty()) {
+      ++stats_.invalidations;
+    }
+    cache_.clear();
+    cached_version_ = topo_.version();
+  }
+  const auto key = std::make_tuple(src, dst, k);
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  ++stats_.misses;
+  std::vector<Path> paths;
+  if (k == 1) {
+    // ShortestPath and KShortestPaths(k=1) agree by construction (Yen's
+    // first result IS the Dijkstra path), so they share a cache entry.
+    auto p = ComputeShortestPath(src, dst, {});
+    if (p) {
+      paths.push_back(std::move(*p));
+    }
+  } else {
+    paths = ComputeKShortestPaths(src, dst, k);
+  }
+  return cache_.emplace(key, std::move(paths)).first->second;
+}
+
+std::optional<Path> Router::ComputeShortestPath(ComponentId src, ComponentId dst,
+                                                const std::vector<LinkId>& excluded_links) const {
   if (src == dst || src < 0 || dst < 0) {
     return std::nullopt;
   }
@@ -111,9 +161,9 @@ std::optional<Path> Router::ShortestPath(ComponentId src, ComponentId dst,
   return path;
 }
 
-std::vector<Path> Router::KShortestPaths(ComponentId src, ComponentId dst, int k) const {
+std::vector<Path> Router::ComputeKShortestPaths(ComponentId src, ComponentId dst, int k) const {
   std::vector<Path> result;
-  auto first = ShortestPath(src, dst);
+  auto first = ComputeShortestPath(src, dst, {});
   if (!first) {
     return result;
   }
@@ -153,7 +203,7 @@ std::vector<Path> Router::KShortestPaths(ComponentId src, ComponentId dst, int k
           removed.push_back(lid);
         }
       }
-      auto spur_path = ShortestPath(spur, dst, removed);
+      auto spur_path = ComputeShortestPath(spur, dst, removed);
       if (!spur_path) {
         continue;
       }

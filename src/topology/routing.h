@@ -8,8 +8,11 @@
 #ifndef MIHN_SRC_TOPOLOGY_ROUTING_H_
 #define MIHN_SRC_TOPOLOGY_ROUTING_H_
 
+#include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "src/sim/time.h"
@@ -43,21 +46,53 @@ struct Path {
   bool operator==(const Path&) const = default;
 };
 
+// Shortest-path queries with a built-in memo cache.
+//
+// Both hot consumers ask the same questions over and over against a
+// topology that mutates rarely (never, after build, in most scenarios): the
+// fabric re-resolves the DDIO spill path socket→DIMM when attaching a spill
+// child mid-solve, and the scheduler runs Yen's algorithm per placement.
+// Results are memoized keyed by (src, dst, k) and invalidated wholesale
+// when Topology::version() moves — an epoch compare per lookup, no
+// subscription machinery. Exclusion-constrained ShortestPath calls (Yen's
+// spur searches) bypass the cache. Hit/miss totals are exposed via
+// cache_stats(); the fabric and manager surface them as trace counters.
 class Router {
  public:
   explicit Router(const Topology& topo) : topo_(topo) {}
 
   // Lowest-total-base-latency path (Dijkstra). nullopt if unreachable or
-  // src == dst. |excluded_links| are treated as absent.
+  // src == dst. |excluded_links| are treated as absent; only calls without
+  // exclusions are served from the cache.
   std::optional<Path> ShortestPath(ComponentId src, ComponentId dst,
                                    const std::vector<LinkId>& excluded_links = {}) const;
 
   // Up to |k| loop-free paths in nondecreasing base-latency order (Yen's
-  // algorithm). Deterministic: ties broken by node-id sequence.
+  // algorithm). Deterministic: ties broken by node-id sequence. Cached.
   std::vector<Path> KShortestPaths(ComponentId src, ComponentId dst, int k) const;
 
+  struct CacheStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t invalidations = 0;  // Epoch flushes observed.
+  };
+  const CacheStats& cache_stats() const { return stats_; }
+
  private:
+  // Returns the memoized path set for (src, dst, k), computing on miss.
+  const std::vector<Path>& Cached(ComponentId src, ComponentId dst, int k) const;
+
+  std::optional<Path> ComputeShortestPath(ComponentId src, ComponentId dst,
+                                          const std::vector<LinkId>& excluded_links) const;
+  std::vector<Path> ComputeKShortestPaths(ComponentId src, ComponentId dst, int k) const;
+
   const Topology& topo_;
+
+  // Memo state. Ordered map: iteration never observes hash order (D1), and
+  // the key tuple gives deterministic, allocation-light lookups.
+  mutable std::map<std::tuple<ComponentId, ComponentId, int>, std::vector<Path>> cache_;
+  mutable uint64_t cached_version_ = 0;
+  mutable CacheStats stats_;
 };
 
 }  // namespace mihn::topology

@@ -170,5 +170,85 @@ TEST(RoutingTest, PathToStringReadable) {
   EXPECT_EQ(path->ToString(d.topo), "s -> a -> t");
 }
 
+TEST(RoutingCacheTest, RepeatQueriesHitCache) {
+  const Diamond d = MakeDiamond();
+  Router router(d.topo);
+  EXPECT_EQ(router.cache_stats().hits, 0u);
+  EXPECT_EQ(router.cache_stats().misses, 0u);
+
+  const auto first = router.ShortestPath(d.s, d.t);
+  EXPECT_EQ(router.cache_stats().misses, 1u);
+  EXPECT_EQ(router.cache_stats().hits, 0u);
+
+  const auto second = router.ShortestPath(d.s, d.t);
+  EXPECT_EQ(router.cache_stats().misses, 1u);
+  EXPECT_EQ(router.cache_stats().hits, 1u);
+  EXPECT_EQ(*first, *second);
+
+  // A different k is a different key.
+  const auto kpaths = router.KShortestPaths(d.s, d.t, 2);
+  EXPECT_EQ(router.cache_stats().misses, 2u);
+  const auto kpaths_again = router.KShortestPaths(d.s, d.t, 2);
+  EXPECT_EQ(router.cache_stats().hits, 2u);
+  EXPECT_EQ(kpaths, kpaths_again);
+}
+
+TEST(RoutingCacheTest, ShortestPathAndK1ShareAnEntry) {
+  const Diamond d = MakeDiamond();
+  Router router(d.topo);
+  const auto direct = router.ShortestPath(d.s, d.t);
+  const auto via_k = router.KShortestPaths(d.s, d.t, 1);
+  EXPECT_EQ(router.cache_stats().misses, 1u);
+  EXPECT_EQ(router.cache_stats().hits, 1u);
+  ASSERT_EQ(via_k.size(), 1u);
+  EXPECT_EQ(*direct, via_k.front());
+}
+
+TEST(RoutingCacheTest, ExcludedLinkQueriesBypassCache) {
+  const Diamond d = MakeDiamond();
+  Router router(d.topo);
+  const auto detour = router.ShortestPath(d.s, d.t, {d.sa});
+  ASSERT_TRUE(detour.has_value());
+  EXPECT_EQ(detour->ToString(d.topo), "s -> b -> t");
+  EXPECT_EQ(router.cache_stats().hits, 0u);
+  EXPECT_EQ(router.cache_stats().misses, 0u);
+}
+
+TEST(RoutingCacheTest, TopologyMutationInvalidates) {
+  Diamond d = MakeDiamond();
+  Router router(d.topo);
+  const auto before = router.ShortestPath(d.s, d.t);
+  ASSERT_TRUE(before.has_value());
+  EXPECT_EQ(before->ToString(d.topo), "s -> a -> t");
+  EXPECT_EQ(router.ShortestPath(d.s, d.t)->ToString(d.topo), "s -> a -> t");
+  EXPECT_EQ(router.cache_stats().hits, 1u);
+
+  // Add a direct s -> t shortcut; the memoized answer is now wrong and the
+  // version bump must flush it.
+  d.topo.AddLink(d.s, d.t,
+                 LinkSpec{LinkKind::kPcieSwitchDown, Bandwidth::Gbps(100), TimeNs::Nanos(1)});
+  const auto after = router.ShortestPath(d.s, d.t);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->ToString(d.topo), "s -> t");
+  EXPECT_EQ(router.cache_stats().invalidations, 1u);
+  EXPECT_EQ(router.cache_stats().misses, 2u);
+}
+
+TEST(RoutingCacheTest, CachedResultsMatchUncached) {
+  Server server = DgxClass();
+  Router cold(server.topo);
+  Router warm(server.topo);
+  // Warm one router, then compare every repeated query against a fresh
+  // router answering the same question for the first time.
+  for (int k : {1, 2, 4, 6}) {
+    const auto warm_first = warm.KShortestPaths(server.gpus[0], server.ssds.back(), k);
+    const auto warm_second = warm.KShortestPaths(server.gpus[0], server.ssds.back(), k);
+    const auto cold_answer = cold.KShortestPaths(server.gpus[0], server.ssds.back(), k);
+    EXPECT_EQ(warm_first, warm_second) << "k=" << k;
+    EXPECT_EQ(warm_second, cold_answer) << "k=" << k;
+  }
+  EXPECT_GT(warm.cache_stats().hits, 0u);
+}
+
 }  // namespace
 }  // namespace mihn::topology
