@@ -31,4 +31,10 @@ std::vector<Anomaly> DetectorBank::Scan(const telemetry::Collector& collector) {
   return fired;
 }
 
+void DetectorBank::Rebaseline() {
+  for (Attachment& a : attachments_) {
+    a.detector->Reset();
+  }
+}
+
 }  // namespace mihn::anomaly

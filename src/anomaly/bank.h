@@ -28,6 +28,14 @@ class DetectorBank {
   // log()). Call after (or periodically alongside) collector sampling.
   std::vector<Anomaly> Scan(const telemetry::Collector& collector);
 
+  // Resets every attached detector's learned state without re-scanning old
+  // samples: each detector re-learns from the next sample onward. This is
+  // the operator's "acknowledge and rebaseline" after a recovery action —
+  // EwmaDetector deliberately keeps firing on a sustained shift (it never
+  // absorbs anomalous samples), so a repair that leaves metrics at a new
+  // legitimate level needs a rebaseline for the bank to go quiet.
+  void Rebaseline();
+
   const std::vector<Anomaly>& log() const { return log_; }
   size_t attachment_count() const { return attachments_.size(); }
 

@@ -6,7 +6,8 @@
 namespace mihn::anomaly {
 
 HeartbeatMesh::HeartbeatMesh(fabric::Fabric& fabric, Config config)
-    : fabric_(fabric), config_(std::move(config)) {
+    : fabric_(fabric), config_(std::move(config)),
+      last_route_epoch_(fabric.route_epoch()) {
   for (const topology::ComponentId src : config_.participants) {
     for (const topology::ComponentId dst : config_.participants) {
       if (src == dst) {
@@ -38,6 +39,9 @@ void HeartbeatMesh::Stop() {
 
 void HeartbeatMesh::Tick() {
   const sim::TimeNs now = fabric_.simulation().Now();
+  if (fabric_.route_epoch() != last_route_epoch_) {
+    ReresolvePaths(now);
+  }
   for (auto& [key, state] : pairs_) {
     fabric::PacketSpec probe;
     probe.path = state.path;
@@ -61,12 +65,51 @@ void HeartbeatMesh::Tick() {
     if (degraded && !state.alarmed) {
       state.alarmed = true;
       state.alarmed_at = now;
+      state.open_alarm = static_cast<int>(alarm_log_.size());
+      AlarmEvent event;
+      event.src = key.first;
+      event.dst = key.second;
+      event.raised_at = now;
+      alarm_log_.push_back(event);
       if (!first_alarm_at_) {
         first_alarm_at_ = now;
       }
     } else if (!degraded && state.alarmed) {
-      state.alarmed = false;  // Recovered.
+      CloseAlarm(state, now);  // Recovered.
     }
+  }
+}
+
+void HeartbeatMesh::ReresolvePaths(sim::TimeNs now) {
+  last_route_epoch_ = fabric_.route_epoch();
+  for (auto& [key, state] : pairs_) {
+    auto path = fabric_.Route(key.first, key.second);
+    // An unreachable pair (every route crosses a dead link) keeps probing
+    // its old path: the dead hop's latency inflation is exactly the signal
+    // the mesh exists to raise.
+    if (!path || *path == state.path) {
+      continue;
+    }
+    // Baselines are keyed to the path, so a re-route restarts learning and
+    // closes any alarm raised against the abandoned path.
+    CloseAlarm(state, now);
+    state.path = std::move(*path);
+    state.samples = 0;
+    state.baseline_ns = 0.0;
+    state.smoothed_ns = 0.0;
+  }
+}
+
+void HeartbeatMesh::CloseAlarm(PairState& state, sim::TimeNs now) {
+  if (!state.alarmed) {
+    return;
+  }
+  state.alarmed = false;
+  if (state.open_alarm >= 0) {
+    AlarmEvent& event = alarm_log_[static_cast<size_t>(state.open_alarm)];
+    event.cleared = true;
+    event.cleared_at = now;
+    state.open_alarm = -1;
   }
 }
 
@@ -129,11 +172,12 @@ std::vector<HeartbeatMesh::SuspectLink> HeartbeatMesh::LocalizeFaults() const {
 }
 
 void HeartbeatMesh::ResetBaselines() {
+  const sim::TimeNs now = fabric_.simulation().Now();
   for (auto& [key, state] : pairs_) {
+    CloseAlarm(state, now);
     state.samples = 0;
     state.baseline_ns = 0.0;
     state.smoothed_ns = 0.0;
-    state.alarmed = false;
   }
   first_alarm_at_.reset();
 }

@@ -55,6 +55,19 @@ class HeartbeatMesh {
     int total_pairs = 0;
   };
 
+  // One raise→clear episode of a pair alarm. Recovery (latency back under
+  // the threshold), a fault-driven re-route (baseline restarts on the new
+  // path), and ResetBaselines() all close an open episode; cleared stays
+  // false while the alarm is still raised. The scorer joins these against
+  // injected ground truth.
+  struct AlarmEvent {
+    topology::ComponentId src = topology::kInvalidComponent;
+    topology::ComponentId dst = topology::kInvalidComponent;
+    sim::TimeNs raised_at;
+    sim::TimeNs cleared_at;  // Valid when cleared.
+    bool cleared = false;
+  };
+
   HeartbeatMesh(fabric::Fabric& fabric, Config config);
 
   // Starts periodic probing. Idempotent.
@@ -70,6 +83,10 @@ class HeartbeatMesh {
   std::vector<PairReport> Alarms() const;
   // Virtual time of the first alarm, if any (detection-latency metric).
   std::optional<sim::TimeNs> first_alarm_at() const { return first_alarm_at_; }
+
+  // Append-only raise/clear history, in raise order (chaos campaigns score
+  // detection and recovery from this).
+  const std::vector<AlarmEvent>& alarm_log() const { return alarm_log_; }
 
   // Ranks links by the fraction of their crossing pairs that alarm (score
   // descending, then link id). Links never crossed by an alarmed pair are
@@ -87,9 +104,19 @@ class HeartbeatMesh {
     double smoothed_ns = 0.0;
     bool alarmed = false;
     sim::TimeNs alarmed_at;
+    int open_alarm = -1;  // Index into alarm_log_ while alarmed.
   };
 
   void Tick();
+
+  // Re-resolves every pair's path after the fabric's route epoch moved.
+  // A changed path restarts that pair's baseline learning (baselines are
+  // keyed to the path); an unreachable pair keeps probing its old path so
+  // the dead hop's latency inflation still raises the alarm.
+  void ReresolvePaths(sim::TimeNs now);
+
+  // Closes |state|'s open alarm episode, if any, at |now|.
+  void CloseAlarm(PairState& state, sim::TimeNs now);
 
   fabric::Fabric& fabric_;
   Config config_;
@@ -98,7 +125,9 @@ class HeartbeatMesh {
   sim::EventHandle timer_;
   bool running_ = false;
   uint64_t probes_sent_ = 0;
+  uint64_t last_route_epoch_ = 0;
   std::optional<sim::TimeNs> first_alarm_at_;
+  std::vector<AlarmEvent> alarm_log_;
 };
 
 }  // namespace mihn::anomaly

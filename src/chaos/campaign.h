@@ -1,0 +1,137 @@
+// Campaign: N seeded trials of workload + fault schedule, scored.
+//
+// Each trial builds a fresh HostNetwork (preset topology, collector,
+// manager), lays tenant streams with SLO intents over it, arms the fault
+// schedule, and runs the full anomaly stack — heartbeat mesh, detector
+// bank over the collector's series, SLO monitor, misconfiguration checker
+// — while a periodic campaign tick gathers their signals and drives the
+// recovery policy (manager re-placement of dead-path allocations plus
+// stream restarts onto fault-aware routes). The Scorer then joins signals
+// against injected ground truth.
+//
+// Determinism: a campaign is a pure function of its config. Trial seeds
+// derive from base_seed via sim::Rng::Fork; every event runs on the
+// virtual clock; all iterated state lives in ordered containers. Two runs
+// of the same config produce byte-identical reports
+// (tests/chaos/campaign_test.cc holds this bar).
+
+#ifndef MIHN_SRC_CHAOS_CAMPAIGN_H_
+#define MIHN_SRC_CHAOS_CAMPAIGN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/anomaly/heartbeat.h"
+#include "src/chaos/fault_schedule.h"
+#include "src/chaos/scorer.h"
+#include "src/core/host_network.h"
+#include "src/sim/time.h"
+#include "src/sim/units.h"
+
+namespace mihn::chaos {
+
+// One tenant stream, symbolic endpoints: component |src_index| of
+// |src_kind| in the preset's construction order (nic 0, gpu 1, ...).
+struct StreamSpec {
+  topology::ComponentKind src_kind = topology::ComponentKind::kNic;
+  int src_index = 0;
+  topology::ComponentKind dst_kind = topology::ComponentKind::kCpuSocket;
+  int dst_index = 0;
+  sim::Bandwidth demand;
+  // Non-zero: a PerformanceTarget of this bandwidth is submitted for the
+  // stream's tenant and the stream's flow attached to the allocation, so
+  // the SLO monitor (and the manager's recovery) covers it. Zero: best
+  // effort.
+  sim::Bandwidth slo;
+  bool ddio_write = false;
+};
+
+struct CampaignConfig {
+  HostNetwork::Preset preset = HostNetwork::Preset::kCommodityTwoSocket;
+  int trials = 3;
+  uint64_t base_seed = 1;
+  sim::TimeNs duration = sim::TimeNs::Millis(100);
+  // Campaign cadence: signal gathering, recovery policy, health sampling,
+  // and the SLO monitor all run at this period.
+  sim::TimeNs tick = sim::TimeNs::Millis(1);
+  sim::TimeNs telemetry_period = sim::TimeNs::Millis(1);
+  // Heartbeat mesh shape (participants are overridden per trial with the
+  // host's device set).
+  anomaly::HeartbeatMesh::Config mesh;
+  bool enable_mesh = true;
+  // EWMA detectors over every directed link's utilization series plus each
+  // socket's cache hit rate.
+  bool enable_detector_bank = true;
+  // Periodic MisconfigChecker sweep; findings beyond the trial's baseline
+  // set signal once per appearance.
+  bool enable_misconfig_check = true;
+  // On any new signal: manager.RepairFaultedAllocations() + restart of
+  // streams whose flow is pinned to a dead path.
+  bool auto_repair = true;
+  Scorer::Config scoring;
+  std::vector<StreamSpec> streams;
+  FaultSchedule schedule;
+};
+
+struct TrialResult {
+  int trial = 0;
+  uint64_t seed = 0;
+  std::vector<GroundTruth> faults;
+  std::vector<Signal> signals;
+  std::vector<HealthSample> health;
+  TrialScore score;
+  uint64_t probes_sent = 0;
+  uint64_t violations_total = 0;
+  uint64_t violations_dropped = 0;
+  uint64_t anomalies = 0;
+  uint64_t repairs = 0;
+  uint64_t stream_restarts = 0;
+  uint64_t injector_operations = 0;
+};
+
+struct CampaignResult {
+  std::string preset_name;
+  int trials = 0;
+  uint64_t base_seed = 0;
+  sim::TimeNs duration;
+  std::vector<TrialResult> results;
+
+  // Aggregates over all trials.
+  int faults_total = 0;
+  int detected_total = 0;
+  int hard_faults_total = 0;
+  int hard_detected_total = 0;
+  int true_positives_total = 0;
+  int false_positives_total = 0;
+  double recall = 1.0;
+  double hard_recall = 1.0;
+  double precision = 1.0;
+  double mean_detection_latency_ms = 0.0;
+  double mean_recovery_ms = 0.0;
+
+  // Non-empty when setup failed (unresolvable fault reference, rejected
+  // SLO intent, bad stream endpoint); results are then partial.
+  std::string error;
+  bool ok() const { return error.empty(); }
+};
+
+class Campaign {
+ public:
+  explicit Campaign(CampaignConfig config);
+
+  // Runs every trial and aggregates. Deterministic; no wall-clock reads.
+  CampaignResult Run();
+
+  const CampaignConfig& config() const { return config_; }
+
+ private:
+  TrialResult RunTrial(int trial, uint64_t seed, std::string* error);
+
+  CampaignConfig config_;
+};
+
+std::string_view PresetName(HostNetwork::Preset preset);
+
+}  // namespace mihn::chaos
+
+#endif  // MIHN_SRC_CHAOS_CAMPAIGN_H_

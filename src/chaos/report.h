@@ -1,0 +1,28 @@
+// Deterministic JSON rendering of campaign results.
+//
+// The report is the campaign's contract with CI and with the determinism
+// test: two runs of the same config must produce byte-identical files.
+// Every number therefore goes through one fixed, locale-independent format
+// ("%.9g", mirroring obs/export.cc) and every time is an integer
+// nanosecond count — no floating formatting of clocks, no map iteration
+// order surprises, no wall-clock stamps anywhere.
+
+#ifndef MIHN_SRC_CHAOS_REPORT_H_
+#define MIHN_SRC_CHAOS_REPORT_H_
+
+#include <string>
+
+#include "src/chaos/campaign.h"
+
+namespace mihn::chaos {
+
+// Renders the full result — config echo, per-trial fault outcomes and
+// signal log, aggregates — as a JSON document ending in a newline.
+std::string CampaignReportJson(const CampaignResult& result);
+
+// Writes CampaignReportJson to |path|. Returns false on I/O failure.
+bool WriteCampaignReport(const CampaignResult& result, const std::string& path);
+
+}  // namespace mihn::chaos
+
+#endif  // MIHN_SRC_CHAOS_REPORT_H_

@@ -46,6 +46,9 @@ Fabric::~Fabric() {
 
 std::optional<topology::Path> Fabric::Route(topology::ComponentId src,
                                             topology::ComponentId dst) const {
+  // The router carries the fabric's fault table as health sets (see
+  // SyncRouterHealth), so the memoized answer already avoids dead links and
+  // prefers non-degraded paths.
   return router_.ShortestPath(src, dst);
 }
 
@@ -230,12 +233,32 @@ sim::TimeNs Fabric::HopLatency(topology::DirectedLink hop) const {
 
 void Fabric::InjectLinkFault(topology::LinkId link, LinkFault fault) {
   faults_[link] = fault;
+  SyncRouterHealth();
   MarkDirty();
 }
 
 void Fabric::ClearLinkFault(topology::LinkId link) {
   if (faults_.erase(link) > 0) {
+    SyncRouterHealth();
     MarkDirty();
+  }
+}
+
+void Fabric::SyncRouterHealth() {
+  std::vector<topology::LinkId> dead;
+  std::vector<topology::LinkId> degraded;
+  for (const auto& [link, fault] : faults_) {
+    if (fault.capacity_factor <= 0.0) {
+      dead.push_back(link);
+    } else if (fault.capacity_factor < 1.0 ||
+               fault.extra_latency > sim::TimeNs::Zero()) {
+      degraded.push_back(link);
+    }
+  }
+  if (router_.SetLinkHealth(std::move(dead), std::move(degraded))) {
+    ++route_epoch_;
+    MIHN_TRACE_COUNTER(tracer_, "fabric", "fabric.route_epoch", route_epoch_);
+    MIHN_TRACE_COUNTER(tracer_, "fabric", "fabric.active_faults", faults_.size());
   }
 }
 

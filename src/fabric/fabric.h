@@ -65,9 +65,16 @@ class Fabric {
   Fabric& operator=(const Fabric&) = delete;
 
   // -- Routing convenience ----------------------------------------------------
-  // Shortest (base-latency) path; nullopt if unreachable.
+  // Shortest (base-latency) path, fault-aware: dead links (capacity factor
+  // 0) are never routed through, degraded links only when no fully healthy
+  // alternative exists. nullopt if every route crosses a dead link.
   std::optional<topology::Path> Route(topology::ComponentId src,
                                       topology::ComponentId dst) const;
+
+  // Bumps whenever a fault injection/clear changes which paths Route()
+  // prefers. Path-caching consumers (heartbeat mesh, workloads) compare it
+  // to re-resolve; it never moves on no-op fault churn.
+  uint64_t route_epoch() const { return route_epoch_; }
 
   // -- Flows -------------------------------------------------------------------
   // Starts a continuous flow. Returns kInvalidFlow for an empty path.
@@ -114,6 +121,11 @@ class Fabric {
   void InjectLinkFault(topology::LinkId link, LinkFault fault);
   void ClearLinkFault(topology::LinkId link);
   std::optional<LinkFault> GetLinkFault(topology::LinkId link) const;
+
+  // The live fault table (deterministic key order). Routing-adjacent
+  // consumers (the scheduler's private router) mirror this into their own
+  // health sets.
+  const std::map<topology::LinkId, LinkFault>& link_faults() const { return faults_; }
 
   // -- Configuration -------------------------------------------------------------
   const FabricConfig& config() const { return config_; }
@@ -235,6 +247,10 @@ class Fabric {
   bool IsPcieKind(topology::LinkKind kind) const;
   sim::TimeNs HopBaseLatency(topology::DirectedLink hop) const;
 
+  // Mirrors faults_ into the router's health sets (dead vs degraded) after
+  // every inject/clear; bumps route_epoch_ when routing preferences moved.
+  void SyncRouterHealth();
+
   // Chooses the spill destination DIMM for a socket (round-robin).
   topology::ComponentId PickSpillDimm(topology::ComponentId socket, FlowId flow);
 
@@ -256,6 +272,7 @@ class Fabric {
   MaxMinSolver solver_;  // Persistent workspace: no allocation at steady state.
   sim::EventHandle pre_advance_hook_;
   obs::Tracer* tracer_ = obs::Tracer::Disabled();
+  uint64_t route_epoch_ = 0;
   uint64_t recompute_count_ = 0;
   uint64_t mutation_count_ = 0;
   uint64_t mutations_at_last_solve_ = 0;  // For the per-solve coalescing arg.

@@ -186,6 +186,30 @@ SubmitResult Manager::MigrateAllocation(AllocationId id, topology::ComponentId n
   return result;
 }
 
+std::vector<AllocationId> Manager::RepairFaultedAllocations() {
+  std::vector<AllocationId> repaired;
+  for (const AllocationId id : AllAllocations()) {
+    const Allocation* alloc = GetAllocation(id);
+    if (alloc == nullptr) {
+      continue;
+    }
+    const bool crosses_dead_link =
+        std::any_of(alloc->path.hops.begin(), alloc->path.hops.end(),
+                    [this](const topology::DirectedLink& hop) {
+                      return fabric_.EffectiveCapacity(hop).IsZero();
+                    });
+    if (!crosses_dead_link) {
+      continue;
+    }
+    const topology::ComponentId src = alloc->target.src;
+    const topology::ComponentId dst = alloc->target.dst;
+    if (MigrateAllocation(id, src, dst).ok()) {
+      repaired.push_back(id);
+    }
+  }
+  return repaired;
+}
+
 const Allocation* Manager::GetAllocation(AllocationId id) const {
   const auto it = allocations_.find(id);
   return it == allocations_.end() ? nullptr : &it->second;

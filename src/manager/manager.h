@@ -105,6 +105,16 @@ class Manager {
   // allocation is left exactly as it was.
   SubmitResult MigrateAllocation(AllocationId id, topology::ComponentId new_src,
                                  topology::ComponentId new_dst);
+
+  // Re-places every allocation whose path crosses a dead link (effective
+  // capacity zero) onto a healthy path, keeping its endpoints — the
+  // manager's half of fault recovery (the chaos campaign measures the time
+  // from injection to the SLO re-converging after this runs). Attached
+  // flows are detached exactly as in MigrateAllocation; callers restart
+  // their traffic on the new path. Allocations with no healthy alternative
+  // are left in place. Returns the repaired ids in ascending order.
+  std::vector<AllocationId> RepairFaultedAllocations();
+
   const Allocation* GetAllocation(AllocationId id) const;
   std::vector<AllocationId> AllocationsOf(fabric::TenantId tenant) const;
   std::vector<AllocationId> AllAllocations() const;

@@ -58,8 +58,15 @@ class Scheduler {
   const topology::Router& router() const { return router_; }
 
  private:
+  // Re-mirrors the fabric's fault table into router_'s health sets so
+  // candidate enumeration never spends a k slot on a dead path. No-op (no
+  // cache flush) when the fault table is unchanged.
+  void SyncRouterHealth() const;
+
   const fabric::Fabric& fabric_;
-  topology::Router router_;
+  // mutable: the router is a memo over (topology, fault table); Place() is
+  // logically const but must refresh that mirror before enumerating.
+  mutable topology::Router router_;
   SchedulerConfig config_;
 };
 

@@ -54,7 +54,7 @@ void SloMonitor::CheckOnce() {
       v.kind = Violation::Kind::kBandwidth;
       v.expected = entitled;
       v.actual = delivered;
-      violations_.push_back(v);
+      RecordViolation(v);
     }
 
     // Latency bound, if the intent carries one.
@@ -69,12 +69,20 @@ void SloMonitor::CheckOnce() {
         v.kind = Violation::Kind::kLatency;
         v.expected = static_cast<double>(alloc->target.max_latency->nanos());
         v.actual = static_cast<double>(current.nanos());
-        violations_.push_back(v);
+        RecordViolation(v);
       }
     }
     if (passed) {
       ++tally.passed;
     }
+  }
+}
+
+void SloMonitor::RecordViolation(const Violation& v) {
+  violations_.push_back(v);
+  while (violations_.size() > config_.max_violations) {
+    violations_.pop_front();
+    ++violations_dropped_;
   }
 }
 

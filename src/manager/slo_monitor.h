@@ -17,9 +17,10 @@
 #ifndef MIHN_SRC_MANAGER_SLO_MONITOR_H_
 #define MIHN_SRC_MANAGER_SLO_MONITOR_H_
 
+#include <cstddef>
+#include <deque>
 #include <map>
 #include <string>
-#include <vector>
 
 #include "src/manager/manager.h"
 
@@ -31,6 +32,11 @@ class SloMonitor {
     sim::TimeNs period = sim::TimeNs::Millis(1);
     // Delivered bandwidth must reach promise * tolerance.
     double bandwidth_tolerance = 0.95;
+    // Retained violation records; the oldest are evicted beyond this and
+    // counted in violations_dropped() — mirrors sim::TimeSeries eviction
+    // accounting so a violating allocation can't grow memory without bound
+    // over a long campaign.
+    size_t max_violations = 8192;
   };
 
   struct Violation {
@@ -54,7 +60,16 @@ class SloMonitor {
   // One check pass right now (also what the timer runs).
   void CheckOnce();
 
-  const std::vector<Violation>& violations() const { return violations_; }
+  // Retained violations, oldest first (bounded by Config::max_violations).
+  const std::deque<Violation>& violations() const { return violations_; }
+
+  // Violations evicted from the front of violations() to honor the bound.
+  uint64_t violations_dropped() const { return violations_dropped_; }
+
+  // Total ever observed: violations().size() + violations_dropped().
+  uint64_t violations_total() const {
+    return violations_dropped_ + violations_.size();
+  }
 
   // Fraction of checks an allocation passed (1.0 if never checked).
   double Compliance(AllocationId id) const;
@@ -70,10 +85,14 @@ class SloMonitor {
     uint64_t passed = 0;
   };
 
+  // Appends |v|, evicting the oldest record past Config::max_violations.
+  void RecordViolation(const Violation& v);
+
   Manager& manager_;
   fabric::Fabric& fabric_;
   Config config_;
-  std::vector<Violation> violations_;
+  std::deque<Violation> violations_;
+  uint64_t violations_dropped_ = 0;
   std::map<AllocationId, Tally> tallies_;
   sim::EventHandle timer_;
   bool running_ = false;

@@ -66,13 +66,30 @@ std::vector<Path> Router::KShortestPaths(ComponentId src, ComponentId dst, int k
   return Cached(src, dst, k);
 }
 
+bool Router::SetLinkHealth(std::vector<LinkId> dead, std::vector<LinkId> degraded) {
+  auto normalize = [](std::vector<LinkId>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  normalize(dead);
+  normalize(degraded);
+  if (dead == dead_links_ && degraded == degraded_links_) {
+    return false;
+  }
+  dead_links_ = std::move(dead);
+  degraded_links_ = std::move(degraded);
+  ++fault_epoch_;
+  return true;
+}
+
 const std::vector<Path>& Router::Cached(ComponentId src, ComponentId dst, int k) const {
-  if (cached_version_ != topo_.version()) {
+  if (cached_version_ != topo_.version() || cached_fault_epoch_ != fault_epoch_) {
     if (!cache_.empty()) {
       ++stats_.invalidations;
     }
     cache_.clear();
     cached_version_ = topo_.version();
+    cached_fault_epoch_ = fault_epoch_;
   }
   const auto key = std::make_tuple(src, dst, k);
   const auto it = cache_.find(key);
@@ -85,7 +102,7 @@ const std::vector<Path>& Router::Cached(ComponentId src, ComponentId dst, int k)
   if (k == 1) {
     // ShortestPath and KShortestPaths(k=1) agree by construction (Yen's
     // first result IS the Dijkstra path), so they share a cache entry.
-    auto p = ComputeShortestPath(src, dst, {});
+    auto p = ComputeHealthyShortestPath(src, dst);
     if (p) {
       paths.push_back(std::move(*p));
     }
@@ -93,6 +110,20 @@ const std::vector<Path>& Router::Cached(ComponentId src, ComponentId dst, int k)
     paths = ComputeKShortestPaths(src, dst, k);
   }
   return cache_.emplace(key, std::move(paths)).first->second;
+}
+
+std::optional<Path> Router::ComputeHealthyShortestPath(ComponentId src, ComponentId dst) const {
+  if (dead_links_.empty() && degraded_links_.empty()) {
+    return ComputeShortestPath(src, dst, {});
+  }
+  if (!degraded_links_.empty()) {
+    std::vector<LinkId> avoid = dead_links_;
+    avoid.insert(avoid.end(), degraded_links_.begin(), degraded_links_.end());
+    if (auto healthy = ComputeShortestPath(src, dst, avoid)) {
+      return healthy;
+    }
+  }
+  return ComputeShortestPath(src, dst, dead_links_);
 }
 
 std::optional<Path> Router::ComputeShortestPath(ComponentId src, ComponentId dst,
@@ -163,7 +194,7 @@ std::optional<Path> Router::ComputeShortestPath(ComponentId src, ComponentId dst
 
 std::vector<Path> Router::ComputeKShortestPaths(ComponentId src, ComponentId dst, int k) const {
   std::vector<Path> result;
-  auto first = ComputeShortestPath(src, dst, {});
+  auto first = ComputeShortestPath(src, dst, dead_links_);
   if (!first) {
     return result;
   }
@@ -186,8 +217,9 @@ std::vector<Path> Router::ComputeKShortestPaths(ComponentId src, ComponentId dst
     // For each spur node in the previous best path...
     for (size_t i = 0; i + 1 < prev.nodes.size(); ++i) {
       const ComponentId spur = prev.nodes[i];
-      // Root = prev.nodes[0..i].
-      std::vector<LinkId> removed;
+      // Root = prev.nodes[0..i]. Dead links stay removed in every spur
+      // search so no enumerated alternative routes through one.
+      std::vector<LinkId> removed = dead_links_;
       for (const Path& p : result) {
         if (p.nodes.size() > i &&
             std::equal(p.nodes.begin(), p.nodes.begin() + static_cast<long>(i) + 1,

@@ -53,23 +53,43 @@ struct Path {
 // fabric re-resolves the DDIO spill path socket→DIMM when attaching a spill
 // child mid-solve, and the scheduler runs Yen's algorithm per placement.
 // Results are memoized keyed by (src, dst, k) and invalidated wholesale
-// when Topology::version() moves — an epoch compare per lookup, no
-// subscription machinery. Exclusion-constrained ShortestPath calls (Yen's
-// spur searches) bypass the cache. Hit/miss totals are exposed via
+// when Topology::version() moves or the link-health fault epoch bumps
+// (SetLinkHealth) — an epoch compare per lookup, no subscription
+// machinery. Exclusion-constrained ShortestPath calls (Yen's spur
+// searches) bypass the cache. Hit/miss totals are exposed via
 // cache_stats(); the fabric and manager surface them as trace counters.
+//
+// Link health: the fabric mirrors its fault table here via SetLinkHealth.
+// Dead links are treated as absent from the graph everywhere; degraded
+// links are avoided by ShortestPath when a fully healthy route exists but
+// still used as a fallback (a slow path beats no path). KShortestPaths
+// enumerates degraded alternatives — its consumer (the scheduler) weighs
+// residual capacity itself — but never dead ones.
 class Router {
  public:
   explicit Router(const Topology& topo) : topo_(topo) {}
 
   // Lowest-total-base-latency path (Dijkstra). nullopt if unreachable or
   // src == dst. |excluded_links| are treated as absent; only calls without
-  // exclusions are served from the cache.
+  // exclusions are served from the cache (and only those honor link
+  // health — explicit exclusion calls are raw graph queries).
   std::optional<Path> ShortestPath(ComponentId src, ComponentId dst,
                                    const std::vector<LinkId>& excluded_links = {}) const;
 
   // Up to |k| loop-free paths in nondecreasing base-latency order (Yen's
   // algorithm). Deterministic: ties broken by node-id sequence. Cached.
+  // Dead links (SetLinkHealth) never appear in any returned path.
   std::vector<Path> KShortestPaths(ComponentId src, ComponentId dst, int k) const;
+
+  // Replaces the health sets. |dead| links are routed around
+  // unconditionally; |degraded| links only when an alternative exists.
+  // Returns true — and bumps fault_epoch(), flushing the memo — iff the
+  // de-duplicated sets actually changed, so periodic re-syncs are free.
+  bool SetLinkHealth(std::vector<LinkId> dead, std::vector<LinkId> degraded);
+
+  // Monotonic counter of effective health changes. Folded into cache
+  // invalidation; consumers (heartbeat mesh) watch it to re-resolve paths.
+  uint64_t fault_epoch() const { return fault_epoch_; }
 
   struct CacheStats {
     uint64_t hits = 0;
@@ -86,12 +106,23 @@ class Router {
                                           const std::vector<LinkId>& excluded_links) const;
   std::vector<Path> ComputeKShortestPaths(ComponentId src, ComponentId dst, int k) const;
 
+  // Health-aware Dijkstra: avoid dead ∪ degraded, fall back to avoiding
+  // only dead, nullopt when every route crosses a dead link.
+  std::optional<Path> ComputeHealthyShortestPath(ComponentId src, ComponentId dst) const;
+
   const Topology& topo_;
+
+  // Link-health sets (sorted, de-duplicated) mirrored from the fabric's
+  // fault table. fault_epoch_ moves only on effective change.
+  std::vector<LinkId> dead_links_;
+  std::vector<LinkId> degraded_links_;
+  uint64_t fault_epoch_ = 0;
 
   // Memo state. Ordered map: iteration never observes hash order (D1), and
   // the key tuple gives deterministic, allocation-light lookups.
   mutable std::map<std::tuple<ComponentId, ComponentId, int>, std::vector<Path>> cache_;
   mutable uint64_t cached_version_ = 0;
+  mutable uint64_t cached_fault_epoch_ = 0;
   mutable CacheStats stats_;
 };
 

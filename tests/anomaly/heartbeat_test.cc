@@ -155,5 +155,94 @@ TEST(HeartbeatTest, ProbeTrafficIsVisibleInTelemetry) {
   EXPECT_GT(probe_bytes, 0.0);
 }
 
+// A dual-ported NIC with asymmetric port latencies: port 0 is fast (the
+// initial route), port 1 is ~50us slower. Killing port 0's uplink forces
+// a re-route whose path latency is wildly above the learned baseline.
+struct DualPorted {
+  topology::Topology topo;
+  topology::ComponentId socket, nic;
+  topology::LinkId up0, up1;
+};
+
+DualPorted MakeDualPorted() {
+  using topology::ComponentKind;
+  using topology::LinkKind;
+  using topology::LinkSpec;
+  DualPorted d;
+  d.socket = d.topo.AddComponent(ComponentKind::kCpuSocket, "s0");
+  const auto rp0 = d.topo.AddComponent(ComponentKind::kPcieRootPort, "s0.rp0", d.socket);
+  const auto sw0 = d.topo.AddComponent(ComponentKind::kPcieSwitch, "s0.rp0.sw0", d.socket);
+  const auto rp1 = d.topo.AddComponent(ComponentKind::kPcieRootPort, "s0.rp1", d.socket);
+  const auto sw1 = d.topo.AddComponent(ComponentKind::kPcieSwitch, "s0.rp1.sw0", d.socket);
+  d.nic = d.topo.AddComponent(ComponentKind::kNic, "nic0", d.socket);
+  d.topo.AddLink(d.socket, rp0, LinkKind::kIntraSocket);
+  d.up0 = d.topo.AddLink(rp0, sw0, LinkKind::kPcieSwitchUp);
+  d.topo.AddLink(sw0, d.nic, LinkKind::kPcieSwitchDown);
+  d.topo.AddLink(d.socket, rp1, LinkKind::kIntraSocket);
+  d.up1 = d.topo.AddLink(
+      rp1, sw1,
+      LinkSpec{LinkKind::kPcieSwitchUp, sim::Bandwidth::Gbps(256), TimeNs::Micros(50)});
+  d.topo.AddLink(sw1, d.nic, LinkKind::kPcieSwitchDown);
+  return d;
+}
+
+// The PR-5 heartbeat fix: when a fault moves the fabric's route epoch, the
+// mesh must re-resolve pair paths (instead of probing the frozen dead
+// path forever) and restart each re-routed pair's baseline (instead of
+// judging the new path against the old path's learned latency).
+TEST(HeartbeatTest, ReroutedPairRestartsBaselineInsteadOfAlarming) {
+  sim::Simulation sim;
+  const DualPorted d = MakeDualPorted();
+  fabric::Fabric fabric(sim, d.topo);
+
+  HeartbeatMesh::Config config;
+  config.participants = {d.socket, d.nic};
+  config.period = TimeNs::Millis(1);
+  HeartbeatMesh mesh(fabric, config);
+  mesh.Start();
+  sim.RunFor(TimeNs::Millis(20));  // Learn the fast-port baseline.
+  EXPECT_TRUE(mesh.Alarms().empty());
+
+  // Kill the fast uplink. The re-routed path is ~50us slower than the
+  // learned baseline — hugely past the 2x alarm threshold — but a fresh
+  // baseline must absorb it. A frozen path would instead probe the dead
+  // link (20x latency inflation) and alarm.
+  fabric.InjectLinkFault(d.up0, fabric::LinkFault{0.0, TimeNs::Zero()});
+  sim.RunFor(TimeNs::Millis(30));
+  EXPECT_TRUE(mesh.Alarms().empty());
+  EXPECT_TRUE(mesh.alarm_log().empty());
+  EXPECT_GT(mesh.probes_sent(), 0u);
+}
+
+TEST(HeartbeatTest, AlarmLogRecordsRaiseAndClearEpisodes) {
+  HostNetwork host(Quiet());
+  HeartbeatMesh::Config config;
+  config.period = TimeNs::Millis(1);
+  auto mesh = host.MakeHeartbeatMesh(config);
+  mesh->Start();
+  host.RunFor(TimeNs::Millis(20));
+  EXPECT_TRUE(mesh->alarm_log().empty());
+
+  const auto path = *host.fabric().Route(host.server().nics[0], host.server().sockets[0]);
+  host.fabric().InjectLinkFault(path.hops[0].link, fabric::LinkFault{1.0, TimeNs::Micros(5)});
+  host.RunFor(TimeNs::Millis(20));
+  ASSERT_FALSE(mesh->alarm_log().empty());
+  const size_t raised = mesh->alarm_log().size();
+  for (const auto& event : mesh->alarm_log()) {
+    EXPECT_FALSE(event.cleared);
+    EXPECT_GE(event.raised_at, TimeNs::Millis(20));
+  }
+
+  host.fabric().ClearLinkFault(path.hops[0].link);
+  host.RunFor(TimeNs::Millis(30));
+  EXPECT_TRUE(mesh->Alarms().empty());
+  // Recovery closes every episode in place; no new episodes appear.
+  EXPECT_EQ(mesh->alarm_log().size(), raised);
+  for (const auto& event : mesh->alarm_log()) {
+    EXPECT_TRUE(event.cleared);
+    EXPECT_GT(event.cleared_at, event.raised_at);
+  }
+}
+
 }  // namespace
 }  // namespace mihn::anomaly

@@ -1,0 +1,91 @@
+#include "src/chaos/campaign_file.h"
+
+#include <gtest/gtest.h>
+
+namespace mihn::chaos {
+namespace {
+
+using sim::TimeNs;
+
+TEST(CampaignFileTest, ParsesFullConfig) {
+  const char* text = R"(# demo
+preset dgx_class
+trials 5
+seed 99
+duration_ms 80
+tick_us 500
+telemetry_us 250
+grace_ms 3
+convergence_ticks 4
+
+stream nic 0 cpu_socket 1 80 64
+stream gpu 2 dimm 0 40 0 ddio
+
+fault kill pcie_switch_up 0 10 20
+fault degrade inter_socket 1 30 40 0.25
+fault latency intra_socket 0 45 50 100
+fault flap pcie_switch_up 1 55 70 2000 0.75
+fault ddio_off 60 65
+)";
+  CampaignConfig config;
+  std::string error;
+  ASSERT_TRUE(ParseCampaignText(text, &config, &error)) << error;
+
+  EXPECT_EQ(config.preset, HostNetwork::Preset::kDgxClass);
+  EXPECT_EQ(config.trials, 5);
+  EXPECT_EQ(config.base_seed, 99u);
+  EXPECT_EQ(config.duration, TimeNs::Millis(80));
+  EXPECT_EQ(config.tick, TimeNs::Micros(500));
+  EXPECT_EQ(config.telemetry_period, TimeNs::Micros(250));
+  EXPECT_EQ(config.scoring.grace, TimeNs::Millis(3));
+  EXPECT_EQ(config.scoring.convergence_ticks, 4);
+
+  ASSERT_EQ(config.streams.size(), 2u);
+  EXPECT_EQ(config.streams[0].src_kind, topology::ComponentKind::kNic);
+  EXPECT_EQ(config.streams[0].dst_kind, topology::ComponentKind::kCpuSocket);
+  EXPECT_EQ(config.streams[0].dst_index, 1);
+  EXPECT_DOUBLE_EQ(config.streams[0].demand.ToGbps(), 80.0);
+  EXPECT_DOUBLE_EQ(config.streams[0].slo.ToGbps(), 64.0);
+  EXPECT_FALSE(config.streams[0].ddio_write);
+  EXPECT_TRUE(config.streams[1].ddio_write);
+  EXPECT_TRUE(config.streams[1].slo.IsZero());
+
+  ASSERT_EQ(config.schedule.size(), 5u);
+  EXPECT_EQ(config.schedule.specs()[0].kind, FaultKind::kKill);
+  EXPECT_EQ(config.schedule.specs()[1].capacity_factor, 0.25);
+  EXPECT_EQ(config.schedule.specs()[2].extra_latency, TimeNs::Micros(100));
+  EXPECT_EQ(config.schedule.specs()[3].flap_period, TimeNs::Micros(2000));
+  EXPECT_EQ(config.schedule.specs()[4].kind, FaultKind::kDdioOff);
+}
+
+TEST(CampaignFileTest, ReportsLineNumbersOnErrors) {
+  CampaignConfig config;
+  std::string error;
+  EXPECT_FALSE(ParseCampaignText("trials 2\nbogus_directive 1\n", &config, &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+  EXPECT_NE(error.find("bogus_directive"), std::string::npos);
+
+  error.clear();
+  EXPECT_FALSE(ParseCampaignText("fault kill warp_link 0 1 2\n", &config, &error));
+  EXPECT_NE(error.find("warp_link"), std::string::npos);
+
+  error.clear();
+  EXPECT_FALSE(ParseCampaignText("stream nic 0 flux_capacitor 0 10 0\n", &config, &error));
+  EXPECT_NE(error.find("flux_capacitor"), std::string::npos);
+
+  error.clear();
+  EXPECT_FALSE(ParseCampaignText("trials -3\n", &config, &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+}
+
+TEST(CampaignFileTest, CommentsAndBlankLinesIgnored) {
+  CampaignConfig config;
+  std::string error;
+  ASSERT_TRUE(ParseCampaignText("\n# full-line comment\ntrials 7 # trailing\n\n",
+                                &config, &error))
+      << error;
+  EXPECT_EQ(config.trials, 7);
+}
+
+}  // namespace
+}  // namespace mihn::chaos

@@ -1,0 +1,143 @@
+#include "src/chaos/fault_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "src/topology/presets.h"
+
+namespace mihn::chaos {
+namespace {
+
+using sim::TimeNs;
+using topology::LinkKind;
+
+TEST(FaultScheduleTest, BuildersAppendSpecsInOrder) {
+  FaultSchedule schedule;
+  schedule.Kill(LinkKind::kPcieSwitchUp, 0, TimeNs::Millis(10), TimeNs::Millis(20))
+      .Degrade(LinkKind::kInterSocket, 1, 0.5, TimeNs::Millis(30))
+      .InflateLatency(LinkKind::kIntraSocket, 0, TimeNs::Micros(10), TimeNs::Millis(40))
+      .Flap(LinkKind::kPcieSwitchUp, 1, TimeNs::Micros(500), 0.5, TimeNs::Millis(50))
+      .DisableDdio(TimeNs::Millis(60));
+  ASSERT_EQ(schedule.size(), 5u);
+  EXPECT_EQ(schedule.specs()[0].kind, FaultKind::kKill);
+  EXPECT_EQ(schedule.specs()[1].kind, FaultKind::kDegrade);
+  EXPECT_EQ(schedule.specs()[2].kind, FaultKind::kLatency);
+  EXPECT_EQ(schedule.specs()[3].kind, FaultKind::kFlap);
+  EXPECT_EQ(schedule.specs()[4].kind, FaultKind::kDdioOff);
+  EXPECT_TRUE(schedule.specs()[0].Cleared());
+  EXPECT_FALSE(schedule.specs()[1].Cleared());
+}
+
+TEST(FaultScheduleTest, ResolveBindsSymbolicLinkReferences) {
+  const topology::Server server = topology::CommodityTwoSocket();
+  FaultSchedule schedule;
+  schedule.Kill(LinkKind::kPcieSwitchUp, 0, TimeNs::Millis(1));
+  schedule.Kill(LinkKind::kInterSocket, 1, TimeNs::Millis(2));
+
+  std::string error;
+  const auto resolved = schedule.Resolve(server.topo, &error);
+  ASSERT_EQ(resolved.size(), 2u);
+  EXPECT_TRUE(error.empty());
+  EXPECT_EQ(resolved[0].link, server.topo.LinksOfKind(LinkKind::kPcieSwitchUp)[0]);
+  EXPECT_EQ(resolved[1].link, server.topo.LinksOfKind(LinkKind::kInterSocket)[1]);
+}
+
+TEST(FaultScheduleTest, ResolveRejectsDanglingReference) {
+  const topology::Server server = topology::CommodityTwoSocket();
+  FaultSchedule schedule;
+  schedule.Kill(LinkKind::kInterSocket, 99, TimeNs::Millis(1));
+  std::string error;
+  EXPECT_TRUE(schedule.Resolve(server.topo, &error).empty());
+  EXPECT_NE(error.find("inter_socket"), std::string::npos);
+  EXPECT_NE(error.find("99"), std::string::npos);
+}
+
+TEST(FaultInjectorTest, GroundTruthWindowsAndHardness) {
+  const topology::Server server = topology::CommodityTwoSocket();
+  sim::Simulation sim;
+  fabric::Fabric fabric(sim, server.topo);
+
+  FaultSchedule schedule;
+  schedule.Kill(LinkKind::kPcieSwitchUp, 0, TimeNs::Millis(10), TimeNs::Millis(20));
+  schedule.Degrade(LinkKind::kInterSocket, 0, 0.5, TimeNs::Millis(30));  // Never cleared.
+  schedule.Flap(LinkKind::kPcieSwitchUp, 1, TimeNs::Micros(500), 0.5, TimeNs::Millis(5),
+                TimeNs::Millis(15));
+  std::string error;
+  FaultInjector injector(fabric, schedule.Resolve(server.topo, &error),
+                         TimeNs::Millis(100));
+
+  const auto& truth = injector.ground_truth();
+  ASSERT_EQ(truth.size(), 3u);
+  EXPECT_EQ(truth[0].start, TimeNs::Millis(10));
+  EXPECT_EQ(truth[0].end, TimeNs::Millis(20));
+  EXPECT_TRUE(truth[0].hard);
+  // Uncleared faults extend to the end of the run.
+  EXPECT_EQ(truth[1].end, TimeNs::Millis(100));
+  EXPECT_FALSE(truth[1].hard);
+  EXPECT_TRUE(truth[2].hard);
+}
+
+TEST(FaultInjectorTest, KillInjectsAndClearsOnSchedule) {
+  const topology::Server server = topology::CommodityTwoSocket();
+  sim::Simulation sim;
+  fabric::Fabric fabric(sim, server.topo);
+  const topology::LinkId link = server.topo.LinksOfKind(LinkKind::kPcieSwitchUp)[0];
+
+  FaultSchedule schedule;
+  schedule.Kill(LinkKind::kPcieSwitchUp, 0, TimeNs::Millis(10), TimeNs::Millis(20));
+  std::string error;
+  FaultInjector injector(fabric, schedule.Resolve(server.topo, &error),
+                         TimeNs::Millis(50));
+  injector.Arm();
+
+  sim.RunFor(TimeNs::Millis(5));
+  EXPECT_TRUE(fabric.link_faults().empty());
+  sim.RunFor(TimeNs::Millis(10));  // t = 15ms: fault active.
+  ASSERT_EQ(fabric.link_faults().size(), 1u);
+  EXPECT_EQ(fabric.link_faults().begin()->first, link);
+  EXPECT_EQ(fabric.link_faults().begin()->second.capacity_factor, 0.0);
+  sim.RunFor(TimeNs::Millis(10));  // t = 25ms: cleared.
+  EXPECT_TRUE(fabric.link_faults().empty());
+  EXPECT_EQ(injector.operations(), 2u);
+}
+
+TEST(FaultInjectorTest, FlapTogglesAndEndsClean) {
+  const topology::Server server = topology::CommodityTwoSocket();
+  sim::Simulation sim;
+  fabric::Fabric fabric(sim, server.topo);
+
+  FaultSchedule schedule;
+  // 1ms period, half duty, active [10ms, 14ms): 4 kill/revive cycles.
+  schedule.Flap(LinkKind::kPcieSwitchUp, 0, TimeNs::Millis(1), 0.5, TimeNs::Millis(10),
+                TimeNs::Millis(14));
+  std::string error;
+  FaultInjector injector(fabric, schedule.Resolve(server.topo, &error),
+                         TimeNs::Millis(50));
+  injector.Arm();
+
+  sim.RunFor(TimeNs::Millis(50));
+  // However the cycles land, the link must be healthy after clear_at.
+  EXPECT_TRUE(fabric.link_faults().empty());
+  EXPECT_GE(injector.operations(), 8u);  // 4 kills + >= 4 clears.
+}
+
+TEST(FaultInjectorTest, DdioOffTogglesFabricConfig) {
+  const topology::Server server = topology::CommodityTwoSocket();
+  sim::Simulation sim;
+  fabric::Fabric fabric(sim, server.topo);
+  ASSERT_TRUE(fabric.config().ddio_enabled);
+
+  FaultSchedule schedule;
+  schedule.DisableDdio(TimeNs::Millis(10), TimeNs::Millis(20));
+  std::string error;
+  FaultInjector injector(fabric, schedule.Resolve(server.topo, &error),
+                         TimeNs::Millis(50));
+  injector.Arm();
+
+  sim.RunFor(TimeNs::Millis(15));
+  EXPECT_FALSE(fabric.config().ddio_enabled);
+  sim.RunFor(TimeNs::Millis(10));
+  EXPECT_TRUE(fabric.config().ddio_enabled);
+}
+
+}  // namespace
+}  // namespace mihn::chaos

@@ -143,5 +143,38 @@ TEST(SloMonitorTest, ComplianceTracksMixedOutcomes) {
   EXPECT_EQ(monitor.violations().size(), 1u);
 }
 
+TEST(SloMonitorTest, ViolationLogIsBounded) {
+  // A permanently-starved allocation violates on every check; over a long
+  // chaos campaign the log must stay capped, with evictions accounted.
+  Fixture f(20, ManagerConfig::Mode::kOff);
+  fabric::FlowSpec rogue;
+  rogue.path = *f.host->fabric().Route(f.host->server().ssds[0], f.host->server().dimms[0]);
+  f.host->fabric().StartFlow(rogue);
+
+  SloMonitor::Config config;
+  config.period = TimeNs::Millis(1);
+  config.max_violations = 16;
+  SloMonitor monitor(*f.manager, f.host->fabric(), config);
+  monitor.Start();
+  f.host->RunFor(TimeNs::Millis(100));
+
+  EXPECT_EQ(monitor.violations().size(), 16u);
+  EXPECT_EQ(monitor.violations_dropped(), monitor.checks_performed() - 16u);
+  EXPECT_EQ(monitor.violations_total(),
+            monitor.violations_dropped() + monitor.violations().size());
+  // The retained window is the newest violations, in order.
+  EXPECT_GT(monitor.violations().back().at, monitor.violations().front().at);
+}
+
+TEST(SloMonitorTest, NothingDroppedUnderTheBound) {
+  Fixture f(10, ManagerConfig::Mode::kStatic);
+  f.manager->ArbitrateOnce();
+  SloMonitor monitor(*f.manager, f.host->fabric());
+  monitor.Start();
+  f.host->RunFor(TimeNs::Millis(10));
+  EXPECT_EQ(monitor.violations_dropped(), 0u);
+  EXPECT_EQ(monitor.violations_total(), 0u);
+}
+
 }  // namespace
 }  // namespace mihn::manager

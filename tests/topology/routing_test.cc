@@ -250,5 +250,80 @@ TEST(RoutingCacheTest, CachedResultsMatchUncached) {
   EXPECT_GT(warm.cache_stats().hits, 0u);
 }
 
+TEST(RoutingHealthTest, SetLinkHealthOnlyBumpsEpochOnEffectiveChange) {
+  const Diamond d = MakeDiamond();
+  Router router(d.topo);
+  EXPECT_EQ(router.fault_epoch(), 0u);
+
+  EXPECT_TRUE(router.SetLinkHealth({d.sa}, {}));
+  EXPECT_EQ(router.fault_epoch(), 1u);
+
+  // Same sets (order and duplicates ignored): no epoch movement.
+  EXPECT_FALSE(router.SetLinkHealth({d.sa, d.sa}, {}));
+  EXPECT_EQ(router.fault_epoch(), 1u);
+
+  EXPECT_TRUE(router.SetLinkHealth({d.sa}, {d.bt}));
+  EXPECT_EQ(router.fault_epoch(), 2u);
+
+  EXPECT_TRUE(router.SetLinkHealth({}, {}));
+  EXPECT_EQ(router.fault_epoch(), 3u);
+}
+
+TEST(RoutingHealthTest, DeadLinkExcludedFromShortestAndKShortest) {
+  const Diamond d = MakeDiamond();
+  Router router(d.topo);
+  router.SetLinkHealth({d.sa}, {});
+
+  const auto path = router.ShortestPath(d.s, d.t);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->ToString(d.topo), "s -> b -> t");
+
+  for (const Path& p : router.KShortestPaths(d.s, d.t, 4)) {
+    EXPECT_FALSE(p.Uses(d.sa));
+  }
+}
+
+TEST(RoutingHealthTest, DegradedLinkAvoidedOnlyWhenAlternativeExists) {
+  const Diamond d = MakeDiamond();
+  Router router(d.topo);
+
+  // Degrading the fast path diverts the shortest path to the slow one.
+  router.SetLinkHealth({}, {d.sa});
+  auto path = router.ShortestPath(d.s, d.t);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->ToString(d.topo), "s -> b -> t");
+
+  // Degrading both legs leaves no healthy alternative: the router falls
+  // back to routing over degraded links rather than failing.
+  router.SetLinkHealth({}, {d.sa, d.sb});
+  path = router.ShortestPath(d.s, d.t);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->ToString(d.topo), "s -> a -> t");
+}
+
+TEST(RoutingHealthTest, FaultEpochInvalidatesMemoizedRoutes) {
+  const Diamond d = MakeDiamond();
+  Router router(d.topo);
+
+  const auto original = router.ShortestPath(d.s, d.t);
+  ASSERT_TRUE(original.has_value());
+  EXPECT_EQ(original->ToString(d.topo), "s -> a -> t");
+  EXPECT_EQ(*router.ShortestPath(d.s, d.t), *original);
+  EXPECT_EQ(router.cache_stats().hits, 1u);
+
+  // PR-4 regression: inject -> the cached s->a->t answer must die.
+  router.SetLinkHealth({d.sa}, {});
+  const auto detour = router.ShortestPath(d.s, d.t);
+  ASSERT_TRUE(detour.has_value());
+  EXPECT_EQ(detour->ToString(d.topo), "s -> b -> t");
+
+  // ... and clear -> the cached detour must die too.
+  router.SetLinkHealth({}, {});
+  const auto restored = router.ShortestPath(d.s, d.t);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(*restored, *original);
+  EXPECT_GE(router.cache_stats().invalidations, 2u);
+}
+
 }  // namespace
 }  // namespace mihn::topology

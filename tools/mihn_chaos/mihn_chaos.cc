@@ -1,0 +1,100 @@
+// mihn_chaos: run a deterministic fault-injection campaign from a .chaos
+// config file and emit the scored JSON report.
+//
+//   mihn_chaos <campaign.chaos> [-o report.json] [--trials N] [--seed N]
+//
+// Without -o the report goes to stdout. Exit codes: 0 on success, 1 on a
+// usage/parse/setup error, 2 when the campaign ran but a hard (link-death)
+// fault went undetected — so CI can gate on "the anomaly stack caught
+// every kill we injected".
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/chaos/campaign.h"
+#include "src/chaos/campaign_file.h"
+#include "src/chaos/report.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <campaign.chaos> [-o report.json] [--trials N] [--seed N]\n",
+               argv0);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string campaign_path;
+  std::string out_path;
+  int trials_override = 0;
+  uint64_t seed_override = 0;
+  bool have_seed_override = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "-o") == 0 || std::strcmp(arg, "--out") == 0) {
+      if (++i >= argc) {
+        return Usage(argv[0]);
+      }
+      out_path = argv[i];
+    } else if (std::strcmp(arg, "--trials") == 0) {
+      if (++i >= argc) {
+        return Usage(argv[0]);
+      }
+      trials_override = std::atoi(argv[i]);
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      if (++i >= argc) {
+        return Usage(argv[0]);
+      }
+      seed_override = static_cast<uint64_t>(std::strtoull(argv[i], nullptr, 10));
+      have_seed_override = true;
+    } else if (campaign_path.empty()) {
+      campaign_path = arg;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (campaign_path.empty()) {
+    return Usage(argv[0]);
+  }
+
+  mihn::chaos::CampaignConfig config;
+  std::string error;
+  if (!mihn::chaos::LoadCampaignFile(campaign_path, &config, &error)) {
+    std::fprintf(stderr, "mihn_chaos: %s: %s\n", campaign_path.c_str(), error.c_str());
+    return 1;
+  }
+  if (trials_override > 0) {
+    config.trials = trials_override;
+  }
+  if (have_seed_override) {
+    config.base_seed = seed_override;
+  }
+
+  mihn::chaos::Campaign campaign(std::move(config));
+  const mihn::chaos::CampaignResult result = campaign.Run();
+  if (!result.ok()) {
+    std::fprintf(stderr, "mihn_chaos: campaign failed: %s\n", result.error.c_str());
+    return 1;
+  }
+
+  if (out_path.empty()) {
+    std::fputs(mihn::chaos::CampaignReportJson(result).c_str(), stdout);
+  } else if (!mihn::chaos::WriteCampaignReport(result, out_path)) {
+    std::fprintf(stderr, "mihn_chaos: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+
+  std::fprintf(stderr,
+               "mihn_chaos: %d trial(s), %d/%d faults detected (%d/%d hard), "
+               "precision %.3f, mean detection latency %.3f ms\n",
+               static_cast<int>(result.results.size()), result.detected_total,
+               result.faults_total, result.hard_detected_total, result.hard_faults_total,
+               result.precision, result.mean_detection_latency_ms);
+  return result.hard_detected_total == result.hard_faults_total ? 0 : 2;
+}
