@@ -73,7 +73,7 @@ FlowId Fabric::StartFlow(FlowSpec spec) {
     ++ddio_flow_count_;
   }
   flows_.emplace(id, std::move(state));
-  MarkDirty();
+  MarkFlowDirty(id);
   return id;
 }
 
@@ -114,7 +114,7 @@ void Fabric::SetFlowLimit(FlowId id, sim::Bandwidth limit) {
   }
   it->second.limit = limit.bytes_per_sec() < 0 ? 0.0
                                                : std::min(limit.bytes_per_sec(), kUnlimitedDemand);
-  MarkDirty();
+  MarkFlowDirty(id);
 }
 
 void Fabric::SetFlowLimitsBatch(const std::vector<std::pair<FlowId, sim::Bandwidth>>& limits) {
@@ -126,6 +126,7 @@ void Fabric::SetFlowLimitsBatch(const std::vector<std::pair<FlowId, sim::Bandwid
     }
     it->second.limit =
         limit.bytes_per_sec() < 0 ? 0.0 : std::min(limit.bytes_per_sec(), kUnlimitedDemand);
+    dirty_flows_.push_back(id);
     ++applied;
   }
   if (applied > 0) {
@@ -139,7 +140,7 @@ void Fabric::SetFlowWeight(FlowId id, double weight) {
     return;
   }
   it->second.spec.weight = std::max(weight, 1e-9);
-  MarkDirty();
+  MarkFlowDirty(id);
 }
 
 void Fabric::SetFlowDemand(FlowId id, sim::Bandwidth demand) {
@@ -149,7 +150,7 @@ void Fabric::SetFlowDemand(FlowId id, sim::Bandwidth demand) {
   }
   it->second.demand = std::clamp(demand.bytes_per_sec(), 0.0, kUnlimitedDemand);
   it->second.spec.demand = demand;
-  MarkDirty();
+  MarkFlowDirty(id);
 }
 
 std::optional<FlowInfo> Fabric::GetFlowInfo(FlowId id) {
@@ -475,11 +476,20 @@ void Fabric::UpdateCacheCoupling() {
               child.link_indices.end());
           flows_.emplace(child_id, std::move(child));
           f.spill_child = child_id;
+          dirty_flows_.push_back(child_id);
         } else {
-          flows_.at(f.spill_child).demand = desired_spill;
+          FlowState& spill = flows_.at(f.spill_child);
+          if (spill.demand != desired_spill) {  // mihn-check: float-eq-ok(pushed-state diff)
+            spill.demand = desired_spill;
+            dirty_flows_.push_back(f.spill_child);
+          }
         }
       } else if (f.spill_child != kInvalidFlow) {
-        flows_.at(f.spill_child).demand = 0.0;
+        FlowState& spill = flows_.at(f.spill_child);
+        if (spill.demand != 0.0) {  // mihn-check: float-eq-ok(pushed-state diff)
+          spill.demand = 0.0;
+          dirty_flows_.push_back(f.spill_child);
+        }
       }
     }
   }
@@ -488,6 +498,11 @@ void Fabric::UpdateCacheCoupling() {
 void Fabric::MarkDirty(uint64_t count) {
   mutation_count_ += count;
   dirty_ = true;
+}
+
+void Fabric::MarkFlowDirty(FlowId id) {
+  dirty_flows_.push_back(id);
+  MarkDirty();
 }
 
 void Fabric::FlushIfDirty() const {
@@ -499,21 +514,69 @@ void Fabric::FlushIfDirty() const {
 }
 
 void Fabric::SolveRates() {
-  solver_.Begin(links_.size());
+  // Full re-prime: first solve ever, or enough tombstoned slots accumulated
+  // that the retained problem is mostly dead weight. Re-priming compacts
+  // slots back to id order — which is also the order the diff path appends
+  // in (flow ids are monotonic), so allocations are identical either way.
+  if (!solver_retained_ || tombstoned_slots_ > flows_.size() / 2 + 8) {
+    solver_.Begin(links_.size());
+    for (size_t i = 0; i < links_.size(); ++i) {
+      solver_.SetCapacity(static_cast<int32_t>(i), links_[i].effective_capacity);
+    }
+    // flows_ is an ordered map: AddFlow order (== rate vector order) is the
+    // deterministic id order. link_indices are pre-sorted and deduped, so the
+    // solver copies them without re-sorting; no allocation at steady state.
+    int32_t slot = 0;
+    for (auto& [id, f] : flows_) {
+      const double eff = std::min({f.demand, f.limit, f.cache_cap});
+      solver_.AddFlow(f.spec.weight, eff, f.link_indices.data(), f.link_indices.size());
+      f.solver_slot = slot++;
+      f.pushed_weight = f.spec.weight;
+      f.pushed_demand = eff;
+    }
+    const std::vector<double>& solved = solver_.Commit();
+    for (auto& [id, f] : flows_) {
+      f.solved_rate = solved[static_cast<size_t>(f.solver_slot)];
+    }
+    solver_retained_ = true;
+    tombstoned_slots_ = 0;
+    dirty_flows_.clear();
+    return;
+  }
+
+  // Delta path: push only what moved since the last solve. The solver elides
+  // writes that match its current value, so the O(links) capacity sweep and
+  // duplicate worklist entries record nothing when nothing moved.
   for (size_t i = 0; i < links_.size(); ++i) {
-    solver_.SetCapacity(static_cast<int32_t>(i), links_[i].effective_capacity);
+    solver_.UpdateCapacity(static_cast<int32_t>(i), links_[i].effective_capacity);
   }
-  // flows_ is an ordered map: AddFlow order (== rate vector order) is the
-  // deterministic id order. link_indices are pre-sorted and deduped, so the
-  // solver copies them without re-sorting; no allocation at steady state.
-  for (const auto& [id, f] : flows_) {
-    solver_.AddFlow(f.spec.weight, std::min({f.demand, f.limit, f.cache_cap}),
-                    f.link_indices.data(), f.link_indices.size());
+  for (const FlowId id : dirty_flows_) {
+    const auto it = flows_.find(id);
+    if (it == flows_.end()) {
+      continue;  // Removed after being dirtied; the solver saw the removal.
+    }
+    FlowState& f = it->second;
+    const double eff = std::min({f.demand, f.limit, f.cache_cap});
+    if (f.solver_slot < 0) {
+      f.solver_slot =
+          solver_.AddFlowRetained(f.spec.weight, eff, f.link_indices.data(), f.link_indices.size());
+      f.pushed_weight = f.spec.weight;
+      f.pushed_demand = eff;
+      continue;
+    }
+    if (f.pushed_weight != f.spec.weight) {  // mihn-check: float-eq-ok(pushed-state diff)
+      solver_.UpdateFlowWeight(f.solver_slot, f.spec.weight);
+      f.pushed_weight = f.spec.weight;
+    }
+    if (f.pushed_demand != eff) {  // mihn-check: float-eq-ok(pushed-state diff)
+      solver_.UpdateFlowDemand(f.solver_slot, eff);
+      f.pushed_demand = eff;
+    }
   }
-  const std::vector<double>& solved = solver_.Commit();
-  size_t i = 0;
+  dirty_flows_.clear();
+  const std::vector<double>& solved = solver_.SolveDelta();
   for (auto& [id, f] : flows_) {
-    f.solved_rate = solved[i++];
+    f.solved_rate = solved[static_cast<size_t>(f.solver_slot)];
   }
 }
 
@@ -533,9 +596,13 @@ void Fabric::Recompute() {
   const bool ddio_active = ddio_flow_count_ > 0;
   if (ddio_active) {
     // Round 1: potential rates with the cache throttle lifted. These set
-    // each DDIO flow's desired spill (what it *would* push to memory).
+    // each DDIO flow's desired spill (what it *would* push to memory). Only
+    // flows actually capped last round change — and only they get dirtied.
     for (auto& [id, f] : flows_) {
-      f.cache_cap = kUnlimitedDemand;
+      if (f.cache_cap != kUnlimitedDemand) {  // mihn-check: float-eq-ok(unlimited sentinel)
+        f.cache_cap = kUnlimitedDemand;
+        dirty_flows_.push_back(id);
+      }
     }
     SolveRates();
     UpdateCacheCoupling();
@@ -561,6 +628,7 @@ void Fabric::Recompute() {
       const double achieved = child.solved_rate;
       if (achieved < child.demand * (1.0 - 1e-6)) {
         f.cache_cap = achieved / f.miss_fraction;
+        dirty_flows_.push_back(id);
         any_cap = true;
       }
     }
@@ -605,6 +673,15 @@ void Fabric::Recompute() {
     solve_span.Arg("rounds", static_cast<double>(solver_.last_rounds()));
     solve_span.Arg("coalesced_mutations",
                    static_cast<double>(mutation_count_ - mutations_at_last_solve_));
+    const MaxMinSolver::DeltaStats& ds = solver_.last_delta_stats();
+    solve_span.Arg("delta_dirty_links", static_cast<double>(ds.dirty_links));
+    solve_span.Arg("delta_divergence_round", static_cast<double>(ds.divergence_round));
+    solve_span.Arg("delta_resumed_rounds", static_cast<double>(ds.resumed_rounds));
+    solve_span.Arg("delta_fallback", ds.fallback_full ? 1.0 : 0.0);
+    MIHN_TRACE_COUNTER(tracer_, "fabric", "fabric.delta_solves", solver_.delta_solves());
+    MIHN_TRACE_COUNTER(tracer_, "fabric", "fabric.delta_fallbacks", solver_.delta_fallbacks());
+    MIHN_TRACE_COUNTER(tracer_, "fabric", "fabric.delta_noop_splices",
+                       solver_.delta_noop_splices());
     MIHN_TRACE_COUNTER(tracer_, "fabric", "fabric.flows", flows_.size());
     MIHN_TRACE_COUNTER(tracer_, "fabric", "fabric.recomputes", recompute_count_);
     MIHN_TRACE_COUNTER(tracer_, "fabric", "fabric.ddio_spill_bps", spill_bps);
@@ -637,6 +714,14 @@ void Fabric::CheckInvariants() const {
   for (const auto& [id, f] : flows_) {
     MIHN_CHECK(f.rate >= 0.0);
     MIHN_CHECK(f.bytes_moved >= 0.0);
+    if (solver_retained_) {
+      // The retained mirror must be exact: a drifted pushed value means a
+      // mutation bypassed MarkFlowDirty and the solver solved stale inputs.
+      MIHN_CHECK(f.solver_slot >= 0);
+      MIHN_CHECK(f.pushed_weight == f.spec.weight);  // mihn-check: float-eq-ok(mirror exactness)
+      MIHN_CHECK(f.pushed_demand ==  // mihn-check: float-eq-ok(mirror exactness)
+                 std::min({f.demand, f.limit, f.cache_cap}));
+    }
     if (f.spill_child != kInvalidFlow) {
       const auto child = flows_.find(f.spill_child);
       MIHN_CHECK(child != flows_.end());
@@ -726,6 +811,10 @@ void Fabric::RemoveFlowInternal(FlowId id) {
   if (it->second.spec.ddio_write && ddio_flow_count_ > 0) {
     --ddio_flow_count_;
   }
+  if (solver_retained_ && it->second.solver_slot >= 0) {
+    solver_.RemoveFlowRetained(it->second.solver_slot);
+    ++tombstoned_slots_;
+  }
   flows_.erase(it);
   if (child != kInvalidFlow) {
     RemoveFlowInternal(child);
@@ -735,6 +824,7 @@ void Fabric::RemoveFlowInternal(FlowId id) {
     if (pit != flows_.end()) {
       pit->second.spill_child = kInvalidFlow;
       pit->second.cache_cap = kUnlimitedDemand;
+      dirty_flows_.push_back(parent);  // Effective demand just changed.
     }
   }
 }

@@ -198,6 +198,13 @@ class Fabric {
     FlowId spill_parent = kInvalidFlow;
     std::vector<int32_t> link_indices;  // DirectedIndex per hop (deduped).
     double solved_rate = 0.0;           // Scratch: last SolveRates() output.
+    // Retained-solver mirror: the slot this flow occupies in the solver's
+    // rate vector, and the weight/effective-demand values last pushed to it.
+    // The diff in SolveRates() compares against these so an untouched flow
+    // costs nothing per solve.
+    int32_t solver_slot = -1;
+    double pushed_weight = 0.0;
+    double pushed_demand = -1.0;
   };
 
   struct DirectedLinkState {
@@ -220,6 +227,10 @@ class Fabric {
   // to the next FlushIfDirty() point.
   void MarkDirty(uint64_t count = 1);
 
+  // MarkDirty(1) plus an entry in dirty_flows_, so the retained diff in
+  // SolveRates() visits only this flow instead of scanning all of them.
+  void MarkFlowDirty(FlowId id);
+
   // Runs the deferred Recompute() if any mutation is pending. const because
   // every read accessor is a flush point; the solve only touches state that
   // is logically derived (rates, cache coupling, completion schedule).
@@ -229,8 +240,11 @@ class Fabric {
   // the next completion event.
   void Recompute();
 
-  // One max-min pass over all flows through the persistent solver
-  // workspace; leaves each flow's result in FlowState::solved_rate.
+  // One max-min pass; leaves each flow's result in FlowState::solved_rate.
+  // Steady state pushes only the diff (changed capacities + dirty_flows_)
+  // into the retained solver and lets SolveDelta() replay the previous
+  // solve's trace; a full re-prime happens on the first solve and when
+  // tombstoned slots pile up.
   void SolveRates();
 
   // Applies config + faults to every directed link's effective capacity.
@@ -270,6 +284,13 @@ class Fabric {
   std::map<topology::ComponentId, SocketCacheStats> cache_stats_;
   std::map<topology::ComponentId, std::vector<topology::ComponentId>> socket_dimms_;
   MaxMinSolver solver_;  // Persistent workspace: no allocation at steady state.
+  // Retained-solver bookkeeping. dirty_flows_ is the worklist of flows whose
+  // weight or effective demand may have moved since the last solve
+  // (duplicates fine — the solver elides no-op writes). Tombstoned slots
+  // accumulate until a full re-prime compacts them away.
+  std::vector<FlowId> dirty_flows_;
+  size_t tombstoned_slots_ = 0;
+  bool solver_retained_ = false;
   sim::EventHandle pre_advance_hook_;
   obs::Tracer* tracer_ = obs::Tracer::Disabled();
   uint64_t route_epoch_ = 0;

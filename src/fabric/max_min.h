@@ -10,15 +10,17 @@
 //
 //  * MaxMinSolver — the production engine. A reusable workspace object that
 //    owns all scratch state (flat flow/link tables, per-link member lists,
-//    residuals, demand heaps) so the steady-state solve path performs zero
-//    heap allocations, and prunes each progressive-filling round down to the
-//    *active link set* and the flows actually touched by the round's
-//    bottleneck instead of rescanning every flow × every link.
+//    residuals, demand heaps, dense active-set mirrors) so the steady-state
+//    solve path performs zero heap allocations, prunes each progressive-
+//    filling round down to the *active link set*, and — the delta path —
+//    retains the full solve trace so that a small mutation (capacity nudge,
+//    demand update, flow add/remove) is answered by replaying the unchanged
+//    prefix of the previous solve and re-filling only the diverging suffix.
 //  * SolveMaxMinReference — the original O(rounds × flows × links) free
-//    function, kept verbatim as the behavioural oracle. The solver is
-//    required to reproduce its rates bit-for-bit (see the differential test
-//    in tests/fabric/max_min_solver_test.cc); any optimisation that changes
-//    a result is a bug.
+//    function, kept as the behavioural oracle. The solver is required to
+//    reproduce its rates bit-for-bit (see the differential tests in
+//    tests/fabric/max_min_solver_test.cc and max_min_delta_test.cc); any
+//    optimisation that changes a result is a bug.
 
 #ifndef MIHN_SRC_FABRIC_MAX_MIN_H_
 #define MIHN_SRC_FABRIC_MAX_MIN_H_
@@ -44,17 +46,37 @@ inline constexpr double kUnlimitedDemand = 1e30;
 
 // Reusable weighted max-min solver workspace.
 //
-// Usage (batch API, the fabric hot path):
+// Usage (batch API, the fabric cold path / full rebuild):
 //
 //   solver.Begin(num_links);
 //   solver.SetCapacity(l, cap);           // for every link, before AddFlow
 //   solver.AddFlow(weight, demand, links, n);  // in flow order
 //   const std::vector<double>& rates = solver.Commit();
 //
-// |rates| is indexed by AddFlow order and remains valid until the next
-// Begin()/Solve(). All internal arrays are retained between solves, so after
-// a warm-up call of at least the same problem size the entire
-// Begin/AddFlow/Commit cycle allocates nothing.
+// Usage (retained delta API, the fabric hot path): after a Commit() the
+// solver keeps the problem *and* the solve trace. Mutate it in place —
+//
+//   solver.UpdateCapacity(l, cap);
+//   solver.UpdateFlowDemand(slot, demand);
+//   solver.UpdateFlowWeight(slot, weight);
+//   slot = solver.AddFlowRetained(weight, demand, links, n);
+//   solver.RemoveFlowRetained(slot);      // Tombstone: slot keeps rate 0.
+//
+// — then SolveDelta() re-solves. Results are bit-identical to a fresh
+// Commit() of the mutated problem (and therefore to the reference): the
+// delta engine replays the recorded per-round trace, proves round by round
+// that the mutation cannot have changed the water-level sequence, and only
+// re-runs filling rounds from the first point of divergence (restored from
+// an O(links) checkpoint). Mutations whose dirty set never touches a
+// binding constraint cost O(rounds × dirty_links); everything else costs
+// the diverging suffix only. Oversized dirty sets fall back to the proven
+// full path (the crossover heuristic), so SolveDelta() is never worse than
+// Commit() by more than the scan.
+//
+// |rates| is indexed by AddFlow/AddFlowRetained order and remains valid
+// until the next Begin()/Solve(). All internal arrays are retained between
+// solves, so after a warm-up call of at least the same problem size the
+// entire mutate/SolveDelta cycle allocates nothing.
 //
 // Guarantees (identical to SolveMaxMinReference, bit-for-bit):
 //  * Feasibility: for every link, sum of rates of flows crossing it does
@@ -66,11 +88,6 @@ inline constexpr double kUnlimitedDemand = 1e30;
 //  * Work conservation: no rate can be increased without violating the
 //    above.
 //  * Flows crossing a zero-capacity or out-of-range link get rate 0.
-//
-// Complexity: O(F log F + E) setup per solve (E = total flow-link
-// incidences) plus O(A + K·deg + K log F) per filling round, where A is the
-// number of links still carrying unfixed flows and K the number of flows
-// fixed that round — instead of the reference's O(F + L + F·deg) per round.
 class MaxMinSolver {
  public:
   MaxMinSolver() = default;
@@ -78,6 +95,7 @@ class MaxMinSolver {
   MaxMinSolver& operator=(const MaxMinSolver&) = delete;
 
   // Starts a new problem over |num_links| resources, all capacities 0.
+  // Drops the retained problem and trace (primed() becomes false).
   void Begin(size_t num_links);
 
   // Sets one link's capacity. Must precede all AddFlow calls so dead-flow
@@ -89,7 +107,8 @@ class MaxMinSolver {
   // the flow's index in the rate vector.
   int32_t AddFlow(double weight, double demand, const int32_t* links, size_t count);
 
-  // Solves the problem accumulated since Begin(). The returned reference is
+  // Solves the problem accumulated since Begin() from scratch, records the
+  // solve trace, and primes the delta engine. The returned reference is
   // invalidated by the next Begin()/Solve().
   const std::vector<double>& Commit();
 
@@ -97,19 +116,131 @@ class MaxMinSolver {
   const std::vector<double>& Solve(const std::vector<MaxMinFlow>& flows,
                                    const std::vector<double>& capacities);
 
-  // Number of progressive-filling rounds of the last Commit() (observability
-  // for benches and tests).
-  size_t last_rounds() const { return last_rounds_; }
+  // -- Retained-problem delta API ---------------------------------------------
+  // All mutators below require a preceding Commit() (primed() == true) to
+  // take the delta path; on an unprimed solver they degrade to their batch
+  // equivalents and the next solve is a full one.
+
+  // True once a Commit() has retained a problem + trace.
+  bool primed() const { return primed_; }
+
+  // Changes one link's capacity in the retained problem. A capacity change
+  // that crosses zero (kills or revives member flows) forces the next solve
+  // down the full path.
+  void UpdateCapacity(int32_t link, double capacity);
+
+  // Changes one retained flow's demand ceiling. A demand <= 0 tombstones
+  // the flow (equivalent to RemoveFlowRetained); raising a tombstoned
+  // flow's demand back above zero revives it via the full path.
+  void UpdateFlowDemand(int32_t flow, double demand);
+
+  // Changes one retained flow's fair-share weight.
+  void UpdateFlowWeight(int32_t flow, double weight);
+
+  // Appends one flow to the retained problem. Returns its rate-vector slot.
+  int32_t AddFlowRetained(double weight, double demand, const int32_t* links, size_t count);
+
+  // Tombstones one retained flow: its slot stays in the rate vector with
+  // rate 0 and exactly zero effect on every other allocation (dead flows
+  // contribute no weight anywhere — the reference's own dead-flow rule).
+  void RemoveFlowRetained(int32_t flow);
+
+  // Re-solves after the mutations recorded since the last solve. Returns
+  // the same retained rate vector as Commit(), bit-identical to a fresh
+  // full solve of the mutated problem.
+  const std::vector<double>& SolveDelta();
+
+  // Last solved rates without re-solving (valid after Commit/SolveDelta).
+  const std::vector<double>& rates() const { return rates_; }
+
+  // Number of retained flow slots (live + tombstoned).
+  size_t retained_flows() const { return num_flows_; }
+
+  // Observability for the delta engine (obs counters, benches, tests).
+  struct DeltaStats {
+    size_t mutations = 0;         // Mutation records consumed by the solve.
+    size_t dirty_links = 0;       // Links whose capacity/weight image changed.
+    size_t trace_rounds = 0;      // Rounds in the retained trace at scan time.
+    size_t divergence_round = 0;  // First re-run round (== trace_rounds+1 sentinel if none).
+    size_t resumed_rounds = 0;    // Rounds actually re-run.
+    size_t component_links = 0;   // Active links re-waterfilled at resume.
+    bool fallback_full = false;   // Crossover/unsupported: took the full path.
+    bool noop_splice = false;     // Proven no divergence: spliced rates only.
+  };
+  const DeltaStats& last_delta_stats() const { return delta_stats_; }
+  uint64_t delta_solves() const { return delta_solves_; }
+  uint64_t delta_fallbacks() const { return delta_fallbacks_; }
+  uint64_t delta_noop_splices() const { return delta_noop_splices_; }
+
+  // Number of progressive-filling rounds of the last solve's trace
+  // (observability for benches and tests).
+  size_t last_rounds() const { return trace_level_.size(); }
 
  private:
-  void RemoveActiveLink(int32_t link);
+  // Full solver state at the *entry* of one filling round: level plus the
+  // canonical per-link residual/weight images (O(links) each). Flow-side
+  // state (fixed flags, heaps) is reconstructed from fix_round_ at restore.
+  struct Checkpoint {
+    size_t round = 0;
+    double level = 0.0;
+    std::vector<double> res;
+    std::vector<double> lw;
+  };
+
+  // One link whose capacity or weight image differs between the retained
+  // ("old") solve and the mutated ("new") problem, with both evolutions.
+  struct ScanLink {
+    int32_t link = 0;
+    double cap_o = 0.0, cap_n = 0.0;
+    double thr_o = 0.0, thr_n = 0.0;  // Saturation thresholds cap*1e-12+eps.
+    double lw_o = 0.0, lw_n = 0.0;    // Evolving link weights.
+    double res_o = 0.0, res_n = 0.0;  // Evolving residuals.
+    double lw_init_n = 0.0;           // New-world initial weight (re-prime).
+    bool sat_o = false, sat_n = false;
+    int32_t clean_rem = 0;     // Unfixed live members that are NOT mutated.
+    int32_t sat_round_n = 0;   // First new-world saturated round (kNever if none).
+    // Live members ordered by (old fix round, flow index); cursor into it.
+    std::vector<std::pair<int32_t, int32_t>> member_events;
+    size_t cursor = 0;
+  };
+
+  // One mutated flow with its pre-mutation image.
+  struct FlowMut {
+    int32_t flow = 0;
+    double w_old = 0.0, d_old = 0.0;
+    double key_old = 0.0;      // d_old / w_old (old demand-heap key).
+    bool alive_old = false;
+    bool links_dirty = false;  // Weight/liveness changed: links are dirty.
+    // Scan state: fixing progress in the new world.
+    bool fixed_new = false;
+    double rate_new = 0.0;
+    int32_t fix_round_new = 0;
+  };
+
+  void RemoveActiveLink(size_t pos);
   void FixFlow(int32_t flow, double rate);
+  int32_t ForcedArgmin(double level);
+  bool TailPinned(double level);
+  int32_t TailArgmin(double level);
+  void RunTailRounds(double level);
+  void SetupFromInputs();
+  void RunRounds(double level, size_t start_round);
+  void StoreCheckpoint(size_t round, double level);
+  double ResidualOf(size_t link) const;
+  double LinkWeightOf(size_t link) const;
+  FlowMut* FindMut(int32_t flow);
+  FlowMut& MutFor(int32_t flow);
+  const std::vector<double>& FullSolveRetained();
+  bool DeltaWorthScanning() const;
+  bool ScanTrace(size_t* divergence_round);
+  void SpliceNoDivergence(size_t rounds_confirmed);
+  void ResumeFrom(size_t divergence_round);
+  void RepointRetainedState(size_t keep_rounds, bool keep_boundary_ckpt);
 
   size_t num_links_ = 0;
   size_t num_flows_ = 0;
-  size_t last_rounds_ = 0;
 
-  // Problem inputs, flat.
+  // Problem inputs, flat. Retained (and mutated in place) between solves.
   std::vector<double> capacities_;
   std::vector<double> flow_weight_;  // Clamped to >= 1e-12.
   std::vector<double> flow_demand_;
@@ -119,20 +250,52 @@ class MaxMinSolver {
 
   // Solve state.
   std::vector<double> rates_;
-  std::vector<double> residual_;
-  std::vector<double> link_weight_;  // Sum of weights of unfixed flows per link.
+  std::vector<double> residual_;     // Canonical for links outside the active set.
+  std::vector<double> link_weight_;  // Canonical for links outside the active set.
   std::vector<uint8_t> fixed_;
+  std::vector<uint8_t> dead_;  // Excluded from the problem (reference dead rule).
   size_t unfixed_ = 0;
 
-  // CSR link -> member flows (non-dead only).
+  // CSR link -> member flows (live at last full prime only) + per-link
+  // overlay of members appended by AddFlowRetained since (slots above the
+  // CSR range, kept ascending).
   std::vector<int32_t> link_flow_off_;
   std::vector<int32_t> link_flow_ids_;
+  std::vector<std::vector<int32_t>> extra_members_;
+  size_t overlay_count_ = 0;  // Total slots registered in extra_members_.
 
-  // Active link set: links with link_weight_ > 0, swap-removed when a link's
-  // weight drains to exactly 0 (links holding only floating-point dust stay
-  // active so residual charging matches the reference bit-for-bit).
+  // Active link set with dense SoA mirrors: per active position, residual,
+  // weight and saturation threshold live contiguously so the per-round
+  // next-level scan and residual charge are plain vectorizable loops.
+  // A link leaves the set (swap-remove, mirrors synced back to the sparse
+  // arrays) when its weight drains to *exactly* zero — rounding dust from
+  // weight subtraction must not leave a memberless link able to pin the
+  // water level (see DESIGN.md §5).
   std::vector<int32_t> active_links_;
   std::vector<int32_t> active_pos_;  // link -> index in active_links_, -1 if absent.
+  std::vector<double> act_res_;
+  std::vector<double> act_lw_;
+  std::vector<double> act_thr_;
+  // More slot-parallel mirrors, so the per-round sweeps touch contiguous
+  // memory instead of chasing link ids: unfixed-member count (mirror of
+  // link_unfixed_ for active slots), a saturation-recorded flag (sat_round_
+  // already stamped, skip the sparse probe), and a memoized residual/weight
+  // quotient for the forced-fix guard. A quotient is valid iff its
+  // generation matches ratio_gen_: the generation advances whenever a
+  // nonzero delta recharges every residual, and a weight drain stamps the
+  // drained slot invalid, so a cached quotient is always the exact division
+  // of the current operands.
+  std::vector<int32_t> act_unfixed_;
+  std::vector<uint8_t> act_satrec_;
+  std::vector<double> act_ratio_;
+  std::vector<uint64_t> act_ratio_gen_;
+  uint64_t ratio_gen_ = 1;
+
+  // Frozen-level tail scratch (RunTailRounds): the compact set of links
+  // that still bound an unfixed flow, with their (frozen) saturation terms.
+  std::vector<int32_t> tail_links_;
+  std::vector<double> tail_terms_;
+  std::vector<int32_t> tail_pos_;  // link -> index in tail_links_, -1 if absent.
 
   // Min-heaps over unfixed flows with lazy deletion. heap_level_ is keyed by
   // demand/weight (the exact demand-ceiling term of the water level);
@@ -141,22 +304,54 @@ class MaxMinSolver {
   std::vector<std::pair<double, int32_t>> heap_level_;
   std::vector<std::pair<double, int32_t>> heap_fix_;
 
+  // Per link: count of unfixed live members (CSR + overlay). Lets the
+  // per-round saturated-link gather skip links whose members are all fixed —
+  // a pure no-op scan, so skipping it is exact — and tells the forced-fix
+  // guard which links still bound an unfixed flow.
+  std::vector<int32_t> link_unfixed_;
+  // Per link: cursor past the fixed prefix of its member CSR slice (members
+  // ascend and fixing is monotone within a solve), so the forced-fix guard
+  // finds a link's lowest-index unfixed member in amortized O(1).
+  std::vector<int32_t> link_cursor_;
+
   // Per-round scratch: candidate flows and an epoch mark for deduping them.
   std::vector<int32_t> candidates_;
   std::vector<uint32_t> candidate_epoch_;
   uint32_t epoch_ = 0;
   size_t fixed_this_round_ = 0;
-};
+  size_t cur_round_ = 0;
 
-// DEPRECATED thin wrapper over a MaxMinSolver; returns one rate per flow
-// (bytes/sec). It constructs a fresh workspace per call, defeating the
-// solver's allocation-free steady state — use the MaxMinSolver batch API
-// (Begin / SetCapacity / AddFlow / Commit, or the Solve() convenience)
-// with a long-lived solver instead. Kept so legacy callers compile;
-// exercised by max_min_solver_test.cc's WrapperStillServesLegacyCallers.
-[[deprecated("use MaxMinSolver (Begin/SetCapacity/AddFlow/Commit or Solve)")]]
-std::vector<double> SolveMaxMin(const std::vector<MaxMinFlow>& flows,
-                                const std::vector<double>& capacities);
+  // -- Retained trace (the delta engine's memory of the last solve) ----------
+  bool primed_ = false;
+  bool force_full_ = false;  // Unsupported mutation (liveness flip etc.).
+  std::vector<double> trace_level_;    // Water level after each round.
+  std::vector<uint8_t> trace_forced_;  // Round used the forced-fix guard.
+  std::vector<int32_t> trace_fixed_;   // Flows fixed per round (current world).
+  std::vector<int32_t> fix_round_;     // Per flow; kNeverFixed / kDeadRound.
+  std::vector<int32_t> sat_round_;     // Per link: first saturated round, kNever.
+  std::vector<double> lw_init_;        // Per-link initial weight of the trace.
+  size_t unfixed_init_ = 0;            // Live flows at solve start.
+  std::vector<Checkpoint> ckpts_;      // Pooled; ckpt_count_ are valid.
+  size_t ckpt_count_ = 0;
+  size_t ckpt_stride_ = 1;
+  size_t last_ckpt_round_ = 0;
+
+  // Pending mutations and scan scratch.
+  std::vector<FlowMut> flow_muts_;
+  std::vector<std::pair<int32_t, double>> cap_muts_;  // (link, old capacity).
+  std::vector<ScanLink> scan_links_;
+  std::vector<int32_t> dirty_pos_;  // link -> index in scan_links_/cap_muts_, -1 if absent.
+  std::vector<double> ckpt_dirty_res_;  // Per (checkpoint, dirty link): new-world
+  std::vector<double> ckpt_dirty_lw_;   // state captured while scanning, used to
+                                        // re-point checkpoints at the new problem.
+  std::vector<int32_t> replay_order_;   // Scratch: per-round weight-drain order.
+  std::vector<int32_t> mut_fix_scratch_;
+
+  DeltaStats delta_stats_;
+  uint64_t delta_solves_ = 0;
+  uint64_t delta_fallbacks_ = 0;
+  uint64_t delta_noop_splices_ = 0;
+};
 
 // The original straightforward implementation, O(F·L) per filling round.
 // Retained as the oracle for differential testing and as the baseline for

@@ -154,14 +154,13 @@ TEST(MaxMinSolverTest, BatchApiMatchesOneShot) {
   ExpectIdentical(batch.Commit(), SolveMaxMinReference(inst.flows, inst.caps), 424242);
 }
 
-TEST(MaxMinSolverTest, WrapperStillServesLegacyCallers) {
-  // The deprecated free-function wrapper must keep working until removal.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const auto rates = SolveMaxMin(
+TEST(MaxMinSolverTest, OneShotSolveServesLegacyShapes) {
+  // The shape the retired SolveMaxMin free function used to serve: the
+  // one-shot Solve() entry is its drop-in replacement.
+  MaxMinSolver solver;
+  const auto rates = solver.Solve(
       {{1.0, kUnlimitedDemand, {0}}, {1.0, kUnlimitedDemand, {0, 1}}, {1.0, kUnlimitedDemand, {1}}},
       {10.0, 4.0});
-#pragma GCC diagnostic pop
   EXPECT_DOUBLE_EQ(rates[1], 2.0);
   EXPECT_DOUBLE_EQ(rates[2], 2.0);
   EXPECT_DOUBLE_EQ(rates[0], 8.0);
