@@ -5,7 +5,7 @@
 // interference on one PCIe switch gates the whole collective.
 
 #include "bench/bench_util.h"
-#include "src/core/host_network.h"
+#include "src/host/host_network.h"
 #include "src/workload/allreduce.h"
 #include "src/workload/sources.h"
 

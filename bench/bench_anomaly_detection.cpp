@@ -9,7 +9,7 @@
 
 #include "bench/bench_util.h"
 #include "src/anomaly/bank.h"
-#include "src/core/host_network.h"
+#include "src/host/host_network.h"
 #include "src/workload/sources.h"
 
 namespace {

@@ -5,7 +5,7 @@
 // manager-style bandwidth cap.
 
 #include "bench/bench_util.h"
-#include "src/core/host_network.h"
+#include "src/host/host_network.h"
 #include "src/workload/kv_client.h"
 #include "src/workload/ml_trainer.h"
 

@@ -6,7 +6,7 @@
 // local memory bus.
 
 #include "bench/bench_util.h"
-#include "src/core/host_network.h"
+#include "src/host/host_network.h"
 #include "src/diagnose/session.h"
 #include "src/workload/sources.h"
 

@@ -4,7 +4,7 @@
 // number of DDIO ways.
 
 #include "bench/bench_util.h"
-#include "src/core/host_network.h"
+#include "src/host/host_network.h"
 #include "src/workload/sources.h"
 
 int main() {

@@ -5,7 +5,7 @@
 // localization accuracy, and detection latency.
 
 #include "bench/bench_util.h"
-#include "src/core/host_network.h"
+#include "src/host/host_network.h"
 #include "src/workload/sources.h"
 
 namespace {

@@ -4,7 +4,7 @@
 // max-min prediction as competing flows are added.
 
 #include "bench/bench_util.h"
-#include "src/core/host_network.h"
+#include "src/host/host_network.h"
 #include "src/diagnose/session.h"
 
 int main() {

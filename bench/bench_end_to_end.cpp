@@ -5,7 +5,7 @@
 // decomposition, unloaded and with a congested PCIe fabric.
 
 #include "bench/bench_util.h"
-#include "src/core/host_network.h"
+#include "src/host/host_network.h"
 #include "src/diagnose/session.h"
 #include "src/workload/sources.h"
 

@@ -8,7 +8,7 @@
 #include <optional>
 
 #include "bench/bench_util.h"
-#include "src/core/host_network.h"
+#include "src/host/host_network.h"
 #include "src/diagnose/session.h"
 
 namespace {

@@ -5,7 +5,7 @@
 // aggressor (the DESIGN.md §4 quantum ablation).
 
 #include "bench/bench_util.h"
-#include "src/core/host_network.h"
+#include "src/host/host_network.h"
 #include "src/workload/sources.h"
 
 namespace {

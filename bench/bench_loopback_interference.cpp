@@ -4,7 +4,7 @@
 // bandwidth and KV tail latency.
 
 #include "bench/bench_util.h"
-#include "src/core/host_network.h"
+#include "src/host/host_network.h"
 #include "src/workload/kv_client.h"
 #include "src/workload/sources.h"
 

@@ -6,7 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
-#include "src/core/host_network.h"
+#include "src/host/host_network.h"
 #include "src/fabric/max_min.h"
 #include "src/workload/sources.h"
 

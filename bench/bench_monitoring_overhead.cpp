@@ -5,7 +5,7 @@
 // fabric, impact on a latency-sensitive tenant).
 
 #include "bench/bench_util.h"
-#include "src/core/host_network.h"
+#include "src/host/host_network.h"
 #include "src/workload/kv_client.h"
 
 int main() {

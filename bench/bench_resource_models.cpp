@@ -8,7 +8,7 @@
 //     endpoint, not per pair.
 
 #include "bench/bench_util.h"
-#include "src/core/host_network.h"
+#include "src/host/host_network.h"
 #include "src/workload/sources.h"
 
 namespace {

@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "src/core/host_network.h"
+#include "src/host/host_network.h"
 
 namespace {
 

@@ -7,7 +7,7 @@
 
 #include <cstdio>
 
-#include "src/core/host_network.h"
+#include "src/host/host_network.h"
 #include "src/diagnose/session.h"
 #include "src/workload/sources.h"
 

@@ -21,7 +21,7 @@
 #include <string>
 
 #include "src/anomaly/misconfig.h"
-#include "src/core/host_network.h"
+#include "src/host/host_network.h"
 #include "src/diagnose/session.h"
 #include "src/topology/serialize.h"
 

@@ -12,7 +12,7 @@
 #include <cstring>
 
 #include "src/anomaly/root_cause.h"
-#include "src/core/host_network.h"
+#include "src/host/host_network.h"
 #include "src/obs/export.h"
 #include "src/workload/kv_client.h"
 #include "src/workload/ml_trainer.h"

@@ -24,7 +24,7 @@
 #include "src/anomaly/heartbeat.h"
 #include "src/chaos/fault_schedule.h"
 #include "src/chaos/scorer.h"
-#include "src/core/host_network.h"
+#include "src/host/host_network.h"
 #include "src/sim/time.h"
 #include "src/sim/units.h"
 

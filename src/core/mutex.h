@@ -1,0 +1,44 @@
+// A no-op mutex carrying clang thread-safety capabilities.
+//
+// Today the whole intra-host simulation is single-threaded, so Lock() and
+// Unlock() compile to nothing and the hot paths (event dispatch, delta
+// solves, path-memo probes) pay zero cycles. What the type buys is the
+// *discipline*: every structure the ROADMAP's parallel runners will share
+// already declares which lock protects which member, clang -Wthread-safety
+// verifies acquire/release ordering in CI, and the day this becomes a real
+// std::mutex (or a shard of them), the locking protocol is already proven
+// instead of retrofitted under deadline.
+
+#ifndef MIHN_SRC_CORE_MUTEX_H_
+#define MIHN_SRC_CORE_MUTEX_H_
+
+#include "src/core/thread_annotations.h"
+
+namespace mihn::core {
+
+class MIHN_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() MIHN_ACQUIRE() {}
+  void Unlock() MIHN_RELEASE() {}
+};
+
+// RAII lock scope: `core::MutexLock lock(&mu_);` at the top of every
+// public method of a lock-owning class.
+class MIHN_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) MIHN_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() MIHN_RELEASE() { mu_->Unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+}  // namespace mihn::core
+
+#endif  // MIHN_SRC_CORE_MUTEX_H_

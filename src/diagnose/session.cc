@@ -5,6 +5,8 @@
 #include <sstream>
 #include <utility>
 
+#include "src/obs/tracer.h"
+
 namespace mihn::diagnose {
 
 ProbeReport Session::MakeProbe(topology::ComponentId src, topology::ComponentId dst) {

@@ -54,7 +54,7 @@ inline double DemandTol(double demand) { return std::max(kEps, demand * 1e-9); }
 // Batch API
 // ---------------------------------------------------------------------------
 
-void MaxMinSolver::Begin(size_t num_links) {
+void MaxMinSolver::BeginLocked(size_t num_links) {
   num_links_ = num_links;
   num_flows_ = 0;
   capacities_.assign(num_links, 0.0);
@@ -68,13 +68,14 @@ void MaxMinSolver::Begin(size_t num_links) {
   cap_muts_.clear();
 }
 
-void MaxMinSolver::SetCapacity(int32_t link, double capacity) {
+void MaxMinSolver::SetCapacityLocked(int32_t link, double capacity) {
   if (link >= 0 && static_cast<size_t>(link) < num_links_) {
     capacities_[static_cast<size_t>(link)] = capacity;
   }
 }
 
-int32_t MaxMinSolver::AddFlow(double weight, double demand, const int32_t* links, size_t count) {
+int32_t MaxMinSolver::AddFlowLocked(double weight, double demand, const int32_t* links,
+                                    size_t count) {
   const int32_t slot = static_cast<int32_t>(num_flows_);
   flow_weight_.push_back(std::max(weight, kMinWeight));
   flow_demand_.push_back(demand);
@@ -100,7 +101,7 @@ int32_t MaxMinSolver::AddFlow(double weight, double demand, const int32_t* links
   return slot;
 }
 
-const std::vector<double>& MaxMinSolver::Commit() {
+const std::vector<double>& MaxMinSolver::CommitLocked() {
   SetupFromInputs();
   RunRounds(0.0, 0);
   for (size_t f = 0; f < num_flows_; ++f) {
@@ -114,14 +115,15 @@ const std::vector<double>& MaxMinSolver::Commit() {
 
 const std::vector<double>& MaxMinSolver::Solve(const std::vector<MaxMinFlow>& flows,
                                                const std::vector<double>& capacities) {
-  Begin(capacities.size());
+  core::MutexLock lock(&mu_);
+  BeginLocked(capacities.size());
   for (size_t l = 0; l < capacities.size(); ++l) {
     capacities_[l] = capacities[l];
   }
   for (const MaxMinFlow& f : flows) {
-    AddFlow(f.weight, f.demand, f.links.data(), f.links.size());
+    AddFlowLocked(f.weight, f.demand, f.links.data(), f.links.size());
   }
-  return Commit();
+  return CommitLocked();
 }
 
 // ---------------------------------------------------------------------------
@@ -889,6 +891,7 @@ MaxMinSolver::FlowMut& MaxMinSolver::MutFor(int32_t flow) {
 }
 
 void MaxMinSolver::UpdateCapacity(int32_t link, double capacity) {
+  core::MutexLock lock(&mu_);
   if (link < 0 || static_cast<size_t>(link) >= num_links_) {
     return;
   }
@@ -914,6 +917,7 @@ void MaxMinSolver::UpdateCapacity(int32_t link, double capacity) {
 }
 
 void MaxMinSolver::UpdateFlowDemand(int32_t flow, double demand) {
+  core::MutexLock lock(&mu_);
   if (flow < 0 || static_cast<size_t>(flow) >= num_flows_) {
     return;
   }
@@ -959,6 +963,7 @@ void MaxMinSolver::UpdateFlowDemand(int32_t flow, double demand) {
 }
 
 void MaxMinSolver::UpdateFlowWeight(int32_t flow, double weight) {
+  core::MutexLock lock(&mu_);
   if (flow < 0 || static_cast<size_t>(flow) >= num_flows_) {
     return;
   }
@@ -985,10 +990,11 @@ void MaxMinSolver::UpdateFlowWeight(int32_t flow, double weight) {
 
 int32_t MaxMinSolver::AddFlowRetained(double weight, double demand, const int32_t* links,
                                       size_t count) {
+  core::MutexLock lock(&mu_);
   if (!primed_) {
-    return AddFlow(weight, demand, links, count);
+    return AddFlowLocked(weight, demand, links, count);
   }
-  const int32_t slot = AddFlow(weight, demand, links, count);
+  const int32_t slot = AddFlowLocked(weight, demand, links, count);
   const size_t f = static_cast<size_t>(slot);
   // Extend the per-flow solve-state arrays the last prime sized.
   rates_.push_back(0.0);
@@ -1028,6 +1034,7 @@ int32_t MaxMinSolver::AddFlowRetained(double weight, double demand, const int32_
 }
 
 void MaxMinSolver::RemoveFlowRetained(int32_t flow) {
+  core::MutexLock lock(&mu_);
   if (flow < 0 || static_cast<size_t>(flow) >= num_flows_) {
     return;
   }
@@ -1089,6 +1096,7 @@ bool MaxMinSolver::DeltaWorthScanning() const {
 }
 
 const std::vector<double>& MaxMinSolver::SolveDelta() {
+  core::MutexLock lock(&mu_);
   ++delta_solves_;
   delta_stats_ = DeltaStats{};
   delta_stats_.mutations = flow_muts_.size() + cap_muts_.size();
@@ -1129,6 +1137,30 @@ const std::vector<double>& MaxMinSolver::SolveDelta() {
 // ---------------------------------------------------------------------------
 // Trace scan
 // ---------------------------------------------------------------------------
+
+// One member flow of a dirty link, during the scan prime: records its
+// old-world fix event on |s| and accumulates its new-world weight.
+void MaxMinSolver::TakeMember(ScanLink& s, int32_t flow) {
+  const size_t mf = static_cast<size_t>(flow);
+  const FlowMut* mu = FindMut(flow);
+  const bool old_live = mu ? mu->alive_old : (fix_round_[mf] != kDeadRound);
+  if (old_live) {
+    s.member_events.emplace_back(fix_round_[mf], flow);
+    if (mu == nullptr) {
+      ++s.clean_rem;
+    }
+  }
+  if (!dead_[mf]) {
+    s.lw_n += flow_weight_[mf];
+  }
+}
+
+bool MaxMinSolver::FlowCrosses(int32_t flow, int32_t link) const {
+  const size_t f = static_cast<size_t>(flow);
+  const int32_t* lo = flow_link_ids_.data() + flow_link_off_[f];
+  const int32_t* hi = flow_link_ids_.data() + flow_link_off_[f + 1];
+  return std::binary_search(lo, hi, link);
+}
 
 bool MaxMinSolver::ScanTrace(size_t* divergence_round) {
   const size_t rounds = trace_level_.size();
@@ -1183,25 +1215,11 @@ bool MaxMinSolver::ScanTrace(size_t* divergence_round) {
     s.sat_round_n = kNeverSat;
     s.member_events.clear();
     s.cursor = 0;
-    auto take_member = [&](int32_t flow) {
-      const size_t mf = static_cast<size_t>(flow);
-      const FlowMut* mu = FindMut(flow);
-      const bool old_live = mu ? mu->alive_old : (fix_round_[mf] != kDeadRound);
-      if (old_live) {
-        s.member_events.emplace_back(fix_round_[mf], flow);
-        if (mu == nullptr) {
-          ++s.clean_rem;
-        }
-      }
-      if (!dead_[mf]) {
-        s.lw_n += flow_weight_[mf];
-      }
-    };
     for (int32_t m = link_flow_off_[l]; m < link_flow_off_[l + 1]; ++m) {
-      take_member(link_flow_ids_[static_cast<size_t>(m)]);
+      TakeMember(s, link_flow_ids_[static_cast<size_t>(m)]);
     }
     for (const int32_t f : extra_members_[l]) {
-      take_member(f);
+      TakeMember(s, f);
     }
     std::sort(s.member_events.begin(), s.member_events.end());
     s.lw_init_n = s.lw_n;
@@ -1221,13 +1239,6 @@ bool MaxMinSolver::ScanTrace(size_t* divergence_round) {
   ckpt_dirty_res_.resize(ckpt_count_ * ns);
   ckpt_dirty_lw_.resize(ckpt_count_ * ns);
   size_t next_ckpt = 0;
-
-  auto flow_crosses = [&](int32_t flow, int32_t link) {
-    const size_t f = static_cast<size_t>(flow);
-    const int32_t* lo = flow_link_ids_.data() + flow_link_off_[f];
-    const int32_t* hi = flow_link_ids_.data() + flow_link_off_[f + 1];
-    return std::binary_search(lo, hi, link);
-  };
 
   for (size_t r = 0; r < rounds; ++r) {
     const int32_t r32 = static_cast<int32_t>(r);
@@ -1377,7 +1388,7 @@ bool MaxMinSolver::ScanTrace(size_t* divergence_round) {
         ++s.cursor;
       }
       for (const FlowMut& m : flow_muts_) {
-        if (m.fixed_new && m.fix_round_new == r32 && flow_crosses(m.flow, s.link)) {
+        if (m.fixed_new && m.fix_round_new == r32 && FlowCrosses(m.flow, s.link)) {
           replay_order_.push_back(m.flow);
         }
       }

@@ -8,8 +8,8 @@
 // from src/{sim,topology,fabric,telemetry,anomaly,diagnose,manager}
 // directly — HostNetwork adds no behaviour of its own.
 
-#ifndef MIHN_SRC_CORE_HOST_NETWORK_H_
-#define MIHN_SRC_CORE_HOST_NETWORK_H_
+#ifndef MIHN_SRC_HOST_HOST_NETWORK_H_
+#define MIHN_SRC_HOST_HOST_NETWORK_H_
 
 #include <memory>
 #include <vector>
@@ -116,4 +116,4 @@ class HostNetwork {
 
 }  // namespace mihn
 
-#endif  // MIHN_SRC_CORE_HOST_NETWORK_H_
+#endif  // MIHN_SRC_HOST_HOST_NETWORK_H_

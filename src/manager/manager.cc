@@ -5,6 +5,8 @@
 #include <limits>
 #include <utility>
 
+#include "src/obs/tracer.h"
+
 namespace mihn::manager {
 namespace {
 

@@ -21,12 +21,13 @@ int64_t WallNowNs() {
 }  // namespace
 
 Tracer* Tracer::Disabled() {
+  // mihn-check: mutable-ok(inert sentinel: enabled_ is false forever, so every method is a no-op and the instance is effectively immutable)
   static Tracer inert;
   return &inert;
 }
 
 Tracer::Tracer(TraceConfig config, const sim::VirtualClock* clock)
-    : config_(config), clock_(clock), enabled_(config.enabled) {
+    : config_(config), enabled_(config.enabled), clock_(clock) {
   if (enabled_) {
     // The one allocation of the tracer's lifetime. Zero-capacity rings
     // would make every record a drop; clamp to at least one slot.
@@ -39,6 +40,7 @@ void Tracer::StampBegin(Span& span) const {
   if (!enabled_) {
     return;
   }
+  core::MutexLock lock(&mu_);
   span.start = VirtualNow();
   if (config_.profiling) {
     span.wall_start_ns = WallNowNs();
@@ -49,6 +51,7 @@ void Tracer::EndAndRecord(Span& span) {
   if (!enabled_) {
     return;
   }
+  core::MutexLock lock(&mu_);
   span.end = VirtualNow();
   if (config_.profiling) {
     span.wall_end_ns = WallNowNs();
@@ -65,6 +68,7 @@ void Tracer::RecordCounter(const char* category, const char* name, double value)
   if (!enabled_) {
     return;
   }
+  core::MutexLock lock(&mu_);
   CounterSample sample;
   sample.name = name;
   sample.category = category;
@@ -82,6 +86,7 @@ void Tracer::RecordCounter(const char* category, const char* name, double value)
 }
 
 std::vector<Span> Tracer::spans() const {
+  core::MutexLock lock(&mu_);
   std::vector<Span> out;
   if (!enabled_ || spans_recorded_ == 0) {
     return out;
@@ -99,6 +104,7 @@ std::vector<Span> Tracer::spans() const {
 }
 
 std::vector<CounterSample> Tracer::counters() const {
+  core::MutexLock lock(&mu_);
   std::vector<CounterSample> out;
   if (!enabled_ || counters_recorded_ == 0) {
     return out;
@@ -115,6 +121,7 @@ std::vector<CounterSample> Tracer::counters() const {
 }
 
 void Tracer::Clear() {
+  core::MutexLock lock(&mu_);
   span_next_ = 0;
   counter_next_ = 0;
   spans_recorded_ = 0;

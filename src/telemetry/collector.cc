@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/obs/tracer.h"
+
 namespace mihn::telemetry {
 namespace {
 

@@ -6,7 +6,7 @@
 #include "src/anomaly/bank.h"
 #include "src/anomaly/misconfig.h"
 #include "src/anomaly/root_cause.h"
-#include "src/core/host_network.h"
+#include "src/host/host_network.h"
 #include "src/workload/sources.h"
 
 namespace mihn::anomaly {

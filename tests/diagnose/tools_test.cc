@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "src/core/host_network.h"
+#include "src/host/host_network.h"
 #include "src/diagnose/tools.h"
 #include "src/workload/sources.h"
 

@@ -16,6 +16,7 @@ namespace {
 // previous solve would fail the very next case.
 std::vector<double> Solve(const std::vector<MaxMinFlow>& flows,
                           const std::vector<double>& capacities) {
+  // mihn-check: mutable-ok(workspace reuse across cases is the point of this suite)
   static MaxMinSolver solver;
   return solver.Solve(flows, capacities);
 }

@@ -1,4 +1,4 @@
-#include "src/core/host_network.h"
+#include "src/host/host_network.h"
 
 #include <gtest/gtest.h>
 

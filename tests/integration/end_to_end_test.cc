@@ -6,8 +6,7 @@
 
 #include "src/anomaly/bank.h"
 #include "src/anomaly/root_cause.h"
-#include "src/core/host_network.h"
-#include "src/diagnose/tools.h"
+#include "src/host/host_network.h"
 #include "src/manager/slo_monitor.h"
 #include "src/workload/kv_client.h"
 #include "src/workload/sources.h"

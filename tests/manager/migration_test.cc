@@ -1,6 +1,6 @@
 #include <gtest/gtest.h>
 
-#include "src/core/host_network.h"
+#include "src/host/host_network.h"
 #include "src/manager/manager.h"
 
 namespace mihn::manager {

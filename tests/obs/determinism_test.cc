@@ -9,7 +9,7 @@
 
 #include <string>
 
-#include "src/core/host_network.h"
+#include "src/host/host_network.h"
 #include "src/obs/export.h"
 #include "src/workload/sources.h"
 

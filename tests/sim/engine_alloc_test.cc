@@ -23,7 +23,9 @@
 
 namespace {
 
+// mihn-check: mutable-ok(operator-new shim state is necessarily link-global)
 bool g_counting = false;
+// mihn-check: mutable-ok(operator-new shim state is necessarily link-global)
 size_t g_allocations = 0;
 
 void* CountedAlloc(size_t size) {
@@ -54,12 +56,18 @@ namespace mihn::sim {
 namespace {
 
 // Workload state shared by the POD event functors (globals keep every
-// functor pointer-free and inline-sized).
+// functor pointer-free and inline-sized; the single-threaded test binary
+// owns them for its whole lifetime).
+// mihn-check: mutable-ok(keeps the zero-alloc functors pointer-free)
 Simulation* g_sim = nullptr;
+// mihn-check: mutable-ok(keeps the zero-alloc functors pointer-free)
 Rng* g_rng = nullptr;
+// mihn-check: mutable-ok(keeps the zero-alloc functors pointer-free)
 uint64_t g_noop_fired = 0;
 constexpr size_t kVictimRing = 64;
+// mihn-check: mutable-ok(keeps the zero-alloc functors pointer-free)
 EventHandle g_victims[kVictimRing];
+// mihn-check: mutable-ok(keeps the zero-alloc functors pointer-free)
 size_t g_victim_next = 0;
 
 // Fires, does nothing. Victim fodder for the cancellation churn.

@@ -4,7 +4,7 @@
 
 #include <sstream>
 
-#include "src/core/host_network.h"
+#include "src/host/host_network.h"
 
 namespace mihn::telemetry {
 namespace {

@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "src/core/host_network.h"
+#include "src/host/host_network.h"
 
 namespace mihn::workload {
 namespace {

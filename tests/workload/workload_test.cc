@@ -1,6 +1,6 @@
 #include <gtest/gtest.h>
 
-#include "src/core/host_network.h"
+#include "src/host/host_network.h"
 #include "src/workload/kv_client.h"
 #include "src/workload/ml_trainer.h"
 #include "src/workload/sources.h"

@@ -1,0 +1,197 @@
+#include "tools/mihn_check/include_graph.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace mihn::check {
+namespace {
+
+constexpr char kTag[] = "layering-ok";
+
+void Report(const std::map<std::string, GraphFile>& files, const std::string& rel_path,
+            int line, const std::string& rule, const std::string& message,
+            std::vector<Finding>& findings) {
+  const auto it = files.find(rel_path);
+  if (it != files.end() && line >= 1 &&
+      IsSuppressed(it->second.raw_lines, static_cast<size_t>(line) - 1, kTag)) {
+    return;
+  }
+  findings.push_back({rel_path, line, rule,
+                      message + " (suppress with // mihn-check: " + std::string(kTag) +
+                          "(<reason>))"});
+}
+
+// Depth-first cycle search over the quoted-include graph restricted to the
+// checked file set. Reports each back edge once, at the include line that
+// closes the cycle, with the full path spelled out.
+struct CycleFinder {
+  const std::map<std::string, GraphFile>& files;
+  std::vector<Finding>& findings;
+  std::map<std::string, int> color;  // 0 white, 1 on stack, 2 done.
+  std::vector<std::string> stack;
+
+  void Visit(const std::string& file) {
+    color[file] = 1;
+    stack.push_back(file);
+    const GraphFile& gf = files.at(file);
+    for (const IncludeRef& inc : gf.includes) {
+      if (!inc.quoted || !files.count(inc.path)) {
+        continue;
+      }
+      const int c = color[inc.path];
+      if (c == 0) {
+        Visit(inc.path);
+      } else if (c == 1) {
+        std::string loop;
+        const auto at = std::find(stack.begin(), stack.end(), inc.path);
+        for (auto it = at; it != stack.end(); ++it) {
+          loop += *it + " -> ";
+        }
+        loop += inc.path;
+        Report(files, file, inc.line, "D6:include-cycle",
+               "include cycle: " + loop +
+                   "; break the cycle (extract the shared piece into a lower layer)",
+               findings);
+      }
+    }
+    stack.pop_back();
+    color[file] = 2;
+  }
+};
+
+}  // namespace
+
+Layering ParseLayering(const std::string& content) {
+  Layering layering;
+  std::istringstream in(content);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    line = Trim(line);
+    if (line.empty()) {
+      continue;
+    }
+    if (line.find_first_of(" \t/") != std::string::npos) {
+      layering.errors.push_back("layering manifest line " + std::to_string(lineno) +
+                                ": expected a bare module name, got '" + line + "'");
+      continue;
+    }
+    if (layering.rank.count(line)) {
+      layering.errors.push_back("layering manifest line " + std::to_string(lineno) +
+                                ": duplicate module '" + line + "'");
+      continue;
+    }
+    layering.rank[line] = static_cast<int>(layering.modules.size());
+    layering.modules.push_back(line);
+  }
+  return layering;
+}
+
+Layering LoadLayering(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    Layering layering;
+    layering.source = path;
+    layering.errors.push_back("layering manifest unreadable: '" + path + "'");
+    return layering;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  Layering layering = ParseLayering(buf.str());
+  layering.source = path;
+  return layering;
+}
+
+std::string ModuleOf(const std::string& rel_path) {
+  if (rel_path.rfind("src/", 0) != 0) {
+    return "";
+  }
+  const size_t slash = rel_path.find('/', 4);
+  if (slash == std::string::npos) {
+    return "";  // A file directly under src/ belongs to no module.
+  }
+  return rel_path.substr(4, slash - 4);
+}
+
+std::vector<Finding> CheckLayering(const Layering& layering,
+                                   const std::map<std::string, GraphFile>& files) {
+  std::vector<Finding> findings;
+  if (!layering.ok()) {
+    if (layering.errors.empty()) {
+      findings.push_back({layering.source, 0, "D6:layering", "layering manifest is empty"});
+    }
+    for (const std::string& err : layering.errors) {
+      findings.push_back({layering.source, 0, "D6:layering", err});
+    }
+    return findings;
+  }
+
+  // Rank check: every cross-module quoted include inside src/ must point
+  // strictly downward.
+  std::set<std::string> unknown_reported;
+  for (const auto& [rel_path, gf] : files) {
+    const std::string from_module = ModuleOf(rel_path);
+    if (from_module.empty()) {
+      continue;  // Layering only binds src/<module>/ files.
+    }
+    const auto from_rank = layering.rank.find(from_module);
+    if (from_rank == layering.rank.end()) {
+      if (unknown_reported.insert(from_module).second) {
+        Report(files, rel_path, 1, "D6:layering",
+               "module 'src/" + from_module +
+                   "' is not declared in tools/mihn_check/layering.txt; add it at the "
+                   "correct layer",
+               findings);
+      }
+      continue;
+    }
+    for (const IncludeRef& inc : gf.includes) {
+      if (!inc.quoted) {
+        continue;
+      }
+      const std::string to_module = ModuleOf(inc.path);
+      if (to_module.empty() || to_module == from_module) {
+        continue;
+      }
+      const auto to_rank = layering.rank.find(to_module);
+      if (to_rank == layering.rank.end()) {
+        Report(files, rel_path, inc.line, "D6:layering",
+               "include of 'src/" + to_module +
+                   "/...' which is not declared in tools/mihn_check/layering.txt",
+               findings);
+        continue;
+      }
+      if (to_rank->second >= from_rank->second) {
+        Report(files, rel_path, inc.line, "D6:layering",
+               "upward include: src/" + from_module + " (layer " +
+                   std::to_string(from_rank->second) + ") must not include src/" + to_module +
+                   " (layer " + std::to_string(to_rank->second) +
+                   "); only same-module or lower-layer includes are allowed",
+               findings);
+      }
+    }
+  }
+
+  // File-level cycle detection (covers same-module cycles the rank check
+  // cannot see). std::map iteration order makes the DFS deterministic.
+  CycleFinder finder{files, findings, {}, {}};
+  for (const auto& [rel_path, gf] : files) {
+    (void)gf;
+    if (ModuleOf(rel_path).empty()) {
+      continue;
+    }
+    if (finder.color[rel_path] == 0) {
+      finder.Visit(rel_path);
+    }
+  }
+  return findings;
+}
+
+}  // namespace mihn::check

@@ -1,0 +1,64 @@
+// D6 layering: the repo include DAG checked against a declared module order.
+//
+// The manifest (tools/mihn_check/layering.txt) lists the src/ modules one
+// per line, lowest layer first. A file in src/<M>/ may #include
+// src/<N>/... only when N is the same module or a strictly lower layer —
+// so per-host state cannot alias through back-door includes, and the
+// module graph stays a DAG by construction. On top of the rank check, a
+// file-level DFS rejects include cycles outright (same-module cycles
+// compile fine behind guards but are exactly the tangles that make later
+// parallel ownership impossible to reason about).
+//
+// Only src/ is subject to layering: tests/, bench/, examples/ and tools/
+// are consumers above the whole stack.
+
+#ifndef MIHN_TOOLS_MIHN_CHECK_INCLUDE_GRAPH_H_
+#define MIHN_TOOLS_MIHN_CHECK_INCLUDE_GRAPH_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tools/mihn_check/checker.h"
+#include "tools/mihn_check/lexer.h"
+
+namespace mihn::check {
+
+// The parsed layering manifest. '#' starts a comment; blank lines are
+// ignored; every other line is one module name, lower layers first.
+struct Layering {
+  std::vector<std::string> modules;  // Bottom-up declaration order.
+  std::map<std::string, int> rank;   // module -> position in |modules|.
+  std::vector<std::string> errors;   // Parse problems; non-empty => unusable.
+  std::string source = "layering manifest";  // Where it was loaded from.
+
+  bool ok() const { return errors.empty() && !modules.empty(); }
+};
+
+Layering ParseLayering(const std::string& content);
+
+// Reads and parses |path|; an unreadable file becomes a Layering error.
+Layering LoadLayering(const std::string& path);
+
+// Module of a repo-relative path: "src/<module>/..." -> "<module>",
+// "" for anything not under src/.
+std::string ModuleOf(const std::string& rel_path);
+
+// What CheckLayering needs to retain per file: its include list plus the
+// raw lines (suppression annotations live in comments, which the blanked
+// view erased).
+struct GraphFile {
+  std::vector<IncludeRef> includes;
+  std::vector<std::string> raw_lines;
+};
+
+// Checks every src/ file in |files| (keyed by repo-relative path) against
+// the manifest, and runs file-level cycle detection over the quoted-include
+// graph restricted to |files|. Deterministic: files are visited in path
+// order, findings are emitted in discovery order.
+std::vector<Finding> CheckLayering(const Layering& layering,
+                                   const std::map<std::string, GraphFile>& files);
+
+}  // namespace mihn::check
+
+#endif  // MIHN_TOOLS_MIHN_CHECK_INCLUDE_GRAPH_H_

@@ -1,0 +1,292 @@
+#include "tools/mihn_check/lexer.h"
+
+#include <cctype>
+
+namespace mihn::check {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::vector<std::string> SplitLines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (const char c : s) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  lines.push_back(cur);
+  return lines;
+}
+
+// Extracts the include target from the RAW line (the blanked view wipes
+// string contents, so the path must come from the original bytes).
+void ParseInclude(const std::string& raw_line, int line, std::vector<IncludeRef>& out) {
+  size_t i = raw_line.find("include");
+  if (i == std::string::npos) {
+    return;
+  }
+  i += 7;
+  while (i < raw_line.size() && std::isspace(static_cast<unsigned char>(raw_line[i]))) {
+    ++i;
+  }
+  if (i >= raw_line.size()) {
+    return;
+  }
+  const char open = raw_line[i];
+  const char close = open == '"' ? '"' : open == '<' ? '>' : '\0';
+  if (close == '\0') {
+    return;
+  }
+  const size_t end = raw_line.find(close, i + 1);
+  if (end == std::string::npos) {
+    return;
+  }
+  out.push_back({raw_line.substr(i + 1, end - i - 1), line, open == '"'});
+}
+
+}  // namespace
+
+std::string BlankCommentsAndStrings(const std::string& src) {
+  std::string out = src;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_end;  // ")delim\"" terminator for the active raw string.
+  size_t i = 0;
+  const size_t n = src.size();
+  auto blank = [&](size_t pos) {
+    if (out[pos] != '\n') {
+      out[pos] = ' ';
+    }
+  };
+  while (i < n) {
+    const char c = src[i];
+    const char next = i + 1 < n ? src[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          blank(i);
+          blank(i + 1);
+          state = State::kLineComment;
+          i += 2;
+        } else if (c == '/' && next == '*') {
+          blank(i);
+          blank(i + 1);
+          state = State::kBlockComment;
+          i += 2;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(src[i - 1])) &&
+                               src[i - 1] != '_'))) {
+          size_t d = i + 2;
+          while (d < n && src[d] != '(' && src[d] != '\n') {
+            ++d;
+          }
+          if (d < n && src[d] == '(') {
+            raw_end = ")" + src.substr(i + 2, d - (i + 2)) + "\"";
+            for (size_t k = i; k <= d; ++k) {
+              blank(k);
+            }
+            state = State::kRawString;
+            i = d + 1;
+          } else {
+            ++i;  // Not a raw string after all.
+          }
+        } else if (c == '"') {
+          blank(i);
+          state = State::kString;
+          ++i;
+        } else if (c == '\'') {
+          blank(i);
+          state = State::kChar;
+          ++i;
+        } else {
+          ++i;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          blank(i);
+        }
+        ++i;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          blank(i);
+          blank(i + 1);
+          state = State::kCode;
+          i += 2;
+        } else {
+          blank(i);
+          ++i;
+        }
+        break;
+      case State::kString:
+      case State::kChar:
+        if (c == '\\' && i + 1 < n) {
+          blank(i);
+          blank(i + 1);
+          i += 2;
+        } else if ((state == State::kString && c == '"') ||
+                   (state == State::kChar && c == '\'')) {
+          blank(i);
+          state = State::kCode;
+          ++i;
+        } else {
+          blank(i);
+          ++i;
+        }
+        break;
+      case State::kRawString:
+        if (src.compare(i, raw_end.size(), raw_end) == 0) {
+          for (size_t k = i; k < i + raw_end.size(); ++k) {
+            blank(k);
+          }
+          i += raw_end.size();
+          state = State::kCode;
+        } else {
+          blank(i);
+          ++i;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) {
+    return "";
+  }
+  size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+bool IsSuppressed(const std::vector<std::string>& raw_lines, size_t idx, const std::string& tag) {
+  const std::string marker = "mihn-check: " + tag + "(";
+  if (idx < raw_lines.size() && raw_lines[idx].find(marker) != std::string::npos) {
+    return true;
+  }
+  if (idx > 0 && idx - 1 < raw_lines.size()) {
+    const std::string prev = Trim(raw_lines[idx - 1]);
+    if (prev.rfind("//", 0) == 0 && prev.find(marker) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsFloatLiteral(std::string_view number) {
+  if (number.size() >= 2 && number[0] == '0' && (number[1] == 'x' || number[1] == 'X')) {
+    return false;  // Hex (p-exponents are out of scope for this codebase).
+  }
+  for (size_t i = 0; i < number.size(); ++i) {
+    if (number[i] == '.') {
+      return true;
+    }
+    if ((number[i] == 'e' || number[i] == 'E') && i > 0 &&
+        std::isdigit(static_cast<unsigned char>(number[i - 1]))) {
+      size_t j = i + 1;
+      if (j < number.size() && (number[j] == '+' || number[j] == '-')) {
+        ++j;
+      }
+      if (j < number.size() && std::isdigit(static_cast<unsigned char>(number[j]))) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+FileText Preprocess(const std::string& content) {
+  FileText ft;
+  ft.raw = content;
+  ft.blanked = BlankCommentsAndStrings(content);
+  ft.raw_lines = SplitLines(ft.raw);
+  ft.code_lines = SplitLines(ft.blanked);
+
+  // Includes: a directive line starts with '#' in the *blanked* view (so a
+  // "#include" inside a comment or string never counts), but the path is
+  // read from the raw line (blanking wiped the quoted text).
+  for (size_t i = 0; i < ft.code_lines.size(); ++i) {
+    const std::string& code = ft.code_lines[i];
+    const size_t first = code.find_first_not_of(" \t\r");
+    if (first == std::string::npos || code[first] != '#') {
+      continue;
+    }
+    const size_t dir = code.find_first_not_of(" \t\r", first + 1);
+    if (dir != std::string::npos && code.compare(dir, 7, "include") == 0) {
+      ParseInclude(ft.raw_lines[i], static_cast<int>(i) + 1, ft.includes);
+    }
+  }
+
+  // Single token pass over the blanked text.
+  const std::string& s = ft.blanked;
+  const size_t n = s.size();
+  int line = 1;
+  size_t i = 0;
+  ft.tokens.reserve(n / 6);
+  while (i < n) {
+    const char c = s[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(s[j])) {
+        ++j;
+      }
+      ft.tokens.push_back({TokKind::kIdent, std::string_view(s).substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(s[i + 1])))) {
+      // pp-number: digits, idents chars, '.', and sign after e/E.
+      size_t j = i + 1;
+      while (j < n) {
+        const char d = s[j];
+        if (IsIdentChar(d) || d == '.') {
+          ++j;
+        } else if ((d == '+' || d == '-') && (s[j - 1] == 'e' || s[j - 1] == 'E')) {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      ft.tokens.push_back({TokKind::kNumber, std::string_view(s).substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Punctuation; fuse the three two-char operators the rules match on.
+    size_t len = 1;
+    if (i + 1 < n) {
+      const char d = s[i + 1];
+      if ((c == ':' && d == ':') || ((c == '=' || c == '!') && d == '=')) {
+        len = 2;
+      }
+    }
+    ft.tokens.push_back({TokKind::kPunct, std::string_view(s).substr(i, len), line});
+    i += len;
+  }
+  return ft;
+}
+
+}  // namespace mihn::check

@@ -1,0 +1,78 @@
+// Lexical front end shared by every mihn-check rule.
+//
+// mihn-check v1 ran one regex pass per rule per line; v2 preprocesses each
+// file exactly once into a FileText — comments/strings blanked, lines
+// split, a single token stream, and the #include list — and every rule
+// family (D1–D9) consumes that shared view. This is what keeps the CI gate
+// sub-second over the whole tree: the cost per file is one scan plus a few
+// linear token walks, regardless of how many rules are enabled.
+//
+// The tokenizer is deliberately a *lexer*, not a parser: it understands
+// identifiers, pp-numbers and punctuation (with the three multi-char
+// operators the rules care about: ::, ==, !=), and it tags every token with
+// its 1-based line so findings stay clickable. Semantic structure — scopes,
+// declarations, class bodies — is recovered by the rules that need it (see
+// checker.cc) from this stream.
+
+#ifndef MIHN_TOOLS_MIHN_CHECK_LEXER_H_
+#define MIHN_TOOLS_MIHN_CHECK_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mihn::check {
+
+enum class TokKind {
+  kIdent,   // Identifiers and keywords: [A-Za-z_][A-Za-z0-9_]*
+  kNumber,  // pp-numbers: 0x1f, 1.0, 1e9, 3.5f, ...
+  kPunct,   // Everything else; "::", "==", "!=" are single tokens.
+};
+
+struct Token {
+  TokKind kind;
+  std::string_view text;  // View into FileText::blanked.
+  int line = 0;           // 1-based.
+};
+
+// One #include directive. Only the quoted repo-relative form matters to the
+// rules; system includes are recorded with quoted=false for completeness.
+struct IncludeRef {
+  std::string path;
+  int line = 0;  // 1-based.
+  bool quoted = false;
+};
+
+// The preprocessed view of one file: computed once, shared by all rules.
+struct FileText {
+  std::string raw;                      // Original bytes.
+  std::string blanked;                  // Comments/string contents -> spaces.
+  std::vector<std::string> raw_lines;   // Suppression annotations live here.
+  std::vector<std::string> code_lines;  // Split view of |blanked|.
+  std::vector<Token> tokens;            // Single shared token stream.
+  std::vector<IncludeRef> includes;     // #include directives, in order.
+};
+
+// Replaces comments and string/char literal contents with spaces,
+// preserving line structure, so rules never fire on prose or quoted text.
+// Handles //, /* */, "..." with escapes, '...', and R"delim(...)delim".
+std::string BlankCommentsAndStrings(const std::string& src);
+
+// Runs the full front end over |content|.
+FileText Preprocess(const std::string& content);
+
+// True if the pp-number token text is a floating-point literal (has a '.'
+// or a decimal exponent). Hex literals are never float here.
+bool IsFloatLiteral(std::string_view number);
+
+// Strips leading/trailing spaces, tabs and '\r'.
+std::string Trim(const std::string& s);
+
+// True if raw line |idx| (0-based) carries "mihn-check: <tag>(" itself, or
+// its immediately preceding line is a comment-only line carrying it. Shared
+// by every rule family, including the graph checks in include_graph.cc.
+bool IsSuppressed(const std::vector<std::string>& raw_lines, size_t idx, const std::string& tag);
+
+}  // namespace mihn::check
+
+#endif  // MIHN_TOOLS_MIHN_CHECK_LEXER_H_

@@ -1,27 +1,85 @@
 // CLI driver for mihn-check (see checker.h for the rule catalogue).
 //
-// Usage: mihn_check --root <repo-root> [target ...]
+// Usage: mihn_check [--root <repo-root>] [--rules=D1,D6,...]
+//                   [--layering=<manifest>|none] [target ...]
 //
 // Targets are files or directories relative to the root (default: src).
-// Prints findings as "path:line: [rule] message" and exits nonzero when any
-// unsuppressed finding remains — ctest and the static-analysis CI job both
-// gate on that exit code.
+// The D6 layering manifest defaults to <root>/tools/mihn_check/layering.txt
+// when it exists, so every invocation gates the include DAG without extra
+// flags; pass --layering=none to opt out. Prints findings as
+// "path:line: [rule] message" and exits nonzero when any unsuppressed
+// finding remains — ctest and the static-analysis CI job both gate on that
+// exit code.
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "tools/mihn_check/checker.h"
 
+namespace {
+
+// Accepts both "--flag value" and "--flag=value"; returns true when |arg|
+// matched |flag| and *value was filled (possibly consuming argv[i+1]).
+bool FlagValue(const char* flag, int argc, char** argv, int* i, std::string* value) {
+  const size_t flag_len = std::strlen(flag);
+  if (std::strncmp(argv[*i], flag, flag_len) != 0) {
+    return false;
+  }
+  const char* rest = argv[*i] + flag_len;
+  if (rest[0] == '=') {
+    *value = rest + 1;
+    return true;
+  }
+  if (rest[0] == '\0' && *i + 1 < argc) {
+    *value = argv[++*i];
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : s) {
+    if (c == ',') {
+      if (!cur.empty()) {
+        out.push_back(cur);
+      }
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) {
+    out.push_back(cur);
+  }
+  return out;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::string root = ".";
+  std::string rules;
+  std::string layering;
+  bool layering_set = false;
   std::vector<std::string> targets;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
-      root = argv[++i];
+    std::string value;
+    if (FlagValue("--root", argc, argv, &i, &value)) {
+      root = value;
+    } else if (FlagValue("--rules", argc, argv, &i, &value)) {
+      rules = value;
+    } else if (FlagValue("--layering", argc, argv, &i, &value)) {
+      layering = value;
+      layering_set = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: mihn_check --root <repo-root> [target ...]\n");
+      std::printf(
+          "usage: mihn_check [--root <repo-root>] [--rules=D1,D6,...]\n"
+          "                  [--layering=<manifest>|none] [target ...]\n");
       return 0;
     } else {
       targets.emplace_back(argv[i]);
@@ -30,7 +88,25 @@ int main(int argc, char** argv) {
   if (targets.empty()) {
     targets.emplace_back("src");
   }
-  const std::vector<mihn::check::Finding> findings = mihn::check::CheckTree(root, targets);
+
+  mihn::check::Options options;
+  options.rules = SplitCommas(rules);
+  if (!layering_set) {
+    // Default to the checked-in manifest so D6 gates every invocation.
+    const std::filesystem::path manifest =
+        std::filesystem::path(root) / "tools" / "mihn_check" / "layering.txt";
+    std::error_code ec;
+    if (std::filesystem::is_regular_file(manifest, ec)) {
+      options.layering_file = manifest.string();
+    }
+  } else if (layering != "none" && !layering.empty()) {
+    const std::filesystem::path p(layering);
+    options.layering_file =
+        p.is_absolute() ? p.string() : (std::filesystem::path(root) / p).string();
+  }
+
+  const std::vector<mihn::check::Finding> findings =
+      mihn::check::CheckTree(root, targets, options);
   std::fputs(mihn::check::FormatFindings(findings).c_str(), stdout);
   return findings.empty() ? 0 : 1;
 }

@@ -1,4 +1,4 @@
-// Self-test for mihn-check: every rule (D1-D5) must both fire on its bad
+// Self-test for mihn-check: every rule (D1-D9) must both fire on its bad
 // fixture and stay silent on its good fixture (which exercises the
 // suppression annotation). A checker that silently stops firing is worse
 // than no checker — CI would keep reporting a clean tree forever.
@@ -6,12 +6,16 @@
 #include "tools/mihn_check/checker.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "tools/mihn_check/include_graph.h"
 
 namespace mihn::check {
 namespace {
@@ -121,6 +125,132 @@ TEST(MihnCheckTest, FindingsCarryFileLineAndSuppressionHint) {
   EXPECT_EQ(findings[0].file, "d1_unordered_bad.cc");
   EXPECT_GT(findings[0].line, 1);
   EXPECT_NE(findings[0].message.find("unordered-ok"), std::string::npos);
+}
+
+TEST(MihnCheckTest, D7FiresOnEveryMutableStatePosition) {
+  const auto findings = Check("d7_state_bad.cc");
+  EXPECT_EQ(CountRule(findings, "D7:namespace-scope-state"), 2u);
+  EXPECT_EQ(CountRule(findings, "D7:static-local"), 1u);
+  EXPECT_EQ(CountRule(findings, "D7:static-member"), 1u);
+  EXPECT_EQ(findings.size(), 4u);
+}
+
+TEST(MihnCheckTest, D7AllowsConstantsLocalsAndSuppressions) {
+  EXPECT_TRUE(Check("d7_state_good.cc").empty());
+}
+
+TEST(MihnCheckTest, D8FiresOnBannedSymbolAndInclude) {
+  const auto findings = Check("d8_drift_bad.cc");
+  EXPECT_EQ(CountRule(findings, "D8:api-drift"), 2u);
+  EXPECT_EQ(findings.size(), 2u);
+}
+
+TEST(MihnCheckTest, D8AllowsReferenceSolverAndSuppression) {
+  EXPECT_TRUE(Check("d8_drift_good.cc").empty());
+}
+
+TEST(MihnCheckTest, D8AllowlistIsPerSurface) {
+  const std::string content = ReadFixture("d8_drift_bad.cc");
+  // The solver's own translation unit may say SolveMaxMin, but the old
+  // diagnose header stays banned there...
+  const auto in_solver = CheckFile("src/fabric/max_min.cc", content);
+  EXPECT_EQ(in_solver.size(), 1u);
+  EXPECT_NE(in_solver[0].message.find("diagnose"), std::string::npos);
+  // ...and vice versa at the header's definition site.
+  const auto in_tools = CheckFile("src/diagnose/tools.cc", content);
+  EXPECT_EQ(in_tools.size(), 1u);
+  EXPECT_NE(in_tools[0].message.find("SolveMaxMin"), std::string::npos);
+}
+
+TEST(MihnCheckTest, D9FiresOnUnguardedMembersOfAnnotatedClass) {
+  const auto findings = Check("d9_guarded_bad.h");
+  EXPECT_EQ(CountRule(findings, "D9:guarded-by"), 2u);
+  EXPECT_EQ(findings.size(), 2u);
+}
+
+TEST(MihnCheckTest, D9ExemptsConstAtomicSuppressedAndUnannotated) {
+  EXPECT_TRUE(Check("d9_guarded_good.h").empty());
+}
+
+TEST(MihnCheckTest, RulesFilterLimitsFamilies) {
+  const std::string content = ReadFixture("d1_unordered_bad.cc");
+  Options only_d4;
+  only_d4.rules = {"D4"};
+  EXPECT_TRUE(CheckFile("d1_unordered_bad.cc", content, only_d4).empty());
+  Options only_d1;
+  only_d1.rules = {"D1"};
+  EXPECT_EQ(CheckFile("d1_unordered_bad.cc", content, only_d1).size(), 1u);
+}
+
+// -- D6: layering over the mini include trees --------------------------------
+
+Options D6Options() {
+  Options options;
+  options.rules = {"D6"};
+  options.layering_file = std::string(MIHN_CHECK_TESTDATA_DIR) + "/d6/layering.txt";
+  return options;
+}
+
+std::vector<Finding> CheckD6Tree(const std::string& tree) {
+  return CheckTree(std::string(MIHN_CHECK_TESTDATA_DIR) + "/d6/" + tree, {"src"},
+                   D6Options());
+}
+
+TEST(MihnCheckTest, D6AcceptsDownwardIncludes) {
+  EXPECT_TRUE(CheckD6Tree("clean").empty());
+}
+
+TEST(MihnCheckTest, D6FiresOnUpwardInclude) {
+  const auto findings = CheckD6Tree("upward");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "D6:layering");
+  EXPECT_EQ(findings[0].file, "src/core/base.h");
+  EXPECT_NE(findings[0].message.find("upward include"), std::string::npos);
+}
+
+TEST(MihnCheckTest, D6FiresOnIncludeCycle) {
+  const auto findings = CheckD6Tree("cycle");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "D6:include-cycle");
+  EXPECT_NE(findings[0].message.find("->"), std::string::npos);
+}
+
+TEST(MihnCheckTest, D6FiresOnUndeclaredModule) {
+  const auto findings = CheckD6Tree("unknown");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "D6:layering");
+  EXPECT_NE(findings[0].message.find("src/mystery"), std::string::npos);
+}
+
+TEST(MihnCheckTest, D6HonorsSuppression) {
+  EXPECT_TRUE(CheckD6Tree("suppressed").empty());
+}
+
+TEST(MihnCheckTest, D6ReportsUnreadableManifest) {
+  Options options;
+  options.rules = {"D6"};
+  options.layering_file = std::string(MIHN_CHECK_TESTDATA_DIR) + "/d6/no_such_manifest.txt";
+  const auto findings =
+      CheckTree(std::string(MIHN_CHECK_TESTDATA_DIR) + "/d6/clean", {"src"}, options);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("unreadable"), std::string::npos);
+}
+
+TEST(MihnCheckTest, LayeringManifestMatchesSourceTree) {
+  // The real manifest and the real src/ must agree in both directions:
+  // a module missing from the manifest would dodge D6, and a stale entry
+  // would let dead layers linger.
+  const std::string root = MIHN_CHECK_REPO_ROOT;
+  const Layering layering = LoadLayering(root + "/tools/mihn_check/layering.txt");
+  ASSERT_TRUE(layering.ok());
+  const std::set<std::string> declared(layering.modules.begin(), layering.modules.end());
+  std::set<std::string> present;
+  for (const auto& entry : std::filesystem::directory_iterator(root + "/src")) {
+    if (entry.is_directory()) {
+      present.insert(entry.path().filename().string());
+    }
+  }
+  EXPECT_EQ(declared, present);
 }
 
 TEST(MihnCheckTest, FormatFindingsSummarizes) {

@@ -6,10 +6,14 @@
 
 namespace fixture {
 
-std::map<std::string, int> g_sorted;
-// mihn-check: unordered-ok(membership probe only; iteration never observes order)
-std::unordered_map<std::string, int> g_probe;
-
-std::unordered_set<int>* g_inline = nullptr;  // mihn-check: unordered-ok(same-line suppression form)
+int Probe(const std::string& key) {
+  std::map<std::string, int> sorted;
+  // mihn-check: unordered-ok(membership probe only; iteration never observes order)
+  std::unordered_map<std::string, int> probe;
+  std::unordered_set<int>* inline_set = nullptr;  // mihn-check: unordered-ok(same-line suppression form)
+  probe[key] = 1;
+  sorted[key] = 2;
+  return static_cast<int>(sorted.count(key) + probe.count(key)) + (inline_set != nullptr ? 1 : 0);
+}
 
 }  // namespace fixture

@@ -5,7 +5,8 @@
 
 namespace fixture {
 
-// mihn-check: float-ok(GPU interop buffer requires 32-bit storage)
+// Two suppressions can share one line when a declaration trips two rules.
+// mihn-check: float-ok(GPU interop buffer requires 32-bit storage) mihn-check: mutable-ok(single-threaded GPU shim scratch)
 float g_gpu_scratch = 0.0F;
 
 bool NearHalf(double x) {

@@ -1,0 +1,8 @@
+#ifndef MIHN_D6_CLEAN_CORE_BASE_H_
+#define MIHN_D6_CLEAN_CORE_BASE_H_
+
+namespace fixture {
+inline int Base() { return 1; }
+}  // namespace fixture
+
+#endif  // MIHN_D6_CLEAN_CORE_BASE_H_

@@ -1,0 +1,5 @@
+#include "src/sim/engine.h"
+
+namespace fixture {
+int Solver() { return Engine() + 1; }
+}  // namespace fixture

@@ -1,0 +1,10 @@
+#ifndef MIHN_D6_CLEAN_SIM_ENGINE_H_
+#define MIHN_D6_CLEAN_SIM_ENGINE_H_
+
+#include "src/core/base.h"
+
+namespace fixture {
+inline int Engine() { return Base() + 1; }
+}  // namespace fixture
+
+#endif  // MIHN_D6_CLEAN_SIM_ENGINE_H_

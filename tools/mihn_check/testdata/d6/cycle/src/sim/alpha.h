@@ -1,0 +1,6 @@
+#ifndef MIHN_D6_CYCLE_SIM_ALPHA_H_
+#define MIHN_D6_CYCLE_SIM_ALPHA_H_
+
+#include "src/sim/beta.h"
+
+#endif  // MIHN_D6_CYCLE_SIM_ALPHA_H_

@@ -1,0 +1,6 @@
+#ifndef MIHN_D6_CYCLE_SIM_BETA_H_
+#define MIHN_D6_CYCLE_SIM_BETA_H_
+
+#include "src/sim/alpha.h"
+
+#endif  // MIHN_D6_CYCLE_SIM_BETA_H_

@@ -1,0 +1,11 @@
+#ifndef MIHN_D6_SUPPRESSED_CORE_BASE_H_
+#define MIHN_D6_SUPPRESSED_CORE_BASE_H_
+
+// mihn-check: layering-ok(transitional: moves down next refactor)
+#include "src/sim/engine.h"
+
+namespace fixture {
+inline int Base() { return Engine(); }
+}  // namespace fixture
+
+#endif  // MIHN_D6_SUPPRESSED_CORE_BASE_H_

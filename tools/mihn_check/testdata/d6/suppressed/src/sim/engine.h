@@ -1,0 +1,8 @@
+#ifndef MIHN_D6_SUPPRESSED_SIM_ENGINE_H_
+#define MIHN_D6_SUPPRESSED_SIM_ENGINE_H_
+
+namespace fixture {
+inline int Engine() { return 2; }
+}  // namespace fixture
+
+#endif  // MIHN_D6_SUPPRESSED_SIM_ENGINE_H_

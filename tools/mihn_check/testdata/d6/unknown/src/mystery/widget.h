@@ -1,0 +1,8 @@
+#ifndef MIHN_D6_UNKNOWN_MYSTERY_WIDGET_H_
+#define MIHN_D6_UNKNOWN_MYSTERY_WIDGET_H_
+
+namespace fixture {
+inline int Widget() { return 3; }
+}  // namespace fixture
+
+#endif  // MIHN_D6_UNKNOWN_MYSTERY_WIDGET_H_

@@ -1,0 +1,10 @@
+#ifndef MIHN_D6_UPWARD_CORE_BASE_H_
+#define MIHN_D6_UPWARD_CORE_BASE_H_
+
+#include "src/sim/engine.h"
+
+namespace fixture {
+inline int Base() { return Engine(); }
+}  // namespace fixture
+
+#endif  // MIHN_D6_UPWARD_CORE_BASE_H_

@@ -1,0 +1,24 @@
+// Fixture: hidden mutable state in every position D7 polices — namespace
+// scope, static locals, and static data members.
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+int g_solve_count = 0;            // BAD: namespace-scope mutable state.
+static std::string g_last_error;  // BAD: namespace-scope mutable state.
+
+const int kTableSize = 64;  // OK: const.
+
+int NextId() {
+  static int counter = 0;  // BAD: mutable static local.
+  return ++counter;
+}
+
+class Registry {
+ public:
+  static int live_instances;         // BAD: mutable static data member.
+  static constexpr int kShards = 4;  // OK: constexpr.
+};
+
+}  // namespace fixture

@@ -1,0 +1,35 @@
+// Fixture: constants, plain locals and suppressed singletons are all clean
+// under D7.
+#include <cstdint>
+
+namespace fixture {
+
+const int kWindow = 256;
+constexpr double kEpsilon = 1e-9;
+inline constexpr int kShards = 4;
+
+// mihn-check: mutable-ok(process-wide interning table, single-threaded by contract)
+int g_intern_count = 0;
+
+int Accumulate(int n) {
+  int total = 0;  // OK: plain local.
+  for (int i = 0; i < n; ++i) {
+    total += i;
+  }
+  return total;
+}
+
+int Sequence() {
+  // mihn-check: mutable-ok(deterministic id source, reset between trials)
+  static int next = 0;
+  return ++next;
+}
+
+class Limits {
+ public:
+  static constexpr int kMax = 1024;  // OK: constexpr member.
+  // mihn-check: mutable-ok(debug-only counter, excluded from trials)
+  static int debug_hits;
+};
+
+}  // namespace fixture

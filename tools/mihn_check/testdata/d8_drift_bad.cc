@@ -1,0 +1,13 @@
+// Fixture: both deprecated surfaces D8 bans — the old diagnose
+// free-function header and the SolveMaxMin free function.
+#include "src/diagnose/tools.h"  // BAD: banned include.
+
+#include <vector>
+
+namespace fixture {
+
+std::vector<double> Allocate() {
+  return mihn::fabric::SolveMaxMin({}, {});  // BAD: banned symbol.
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: the reference solver is a distinct symbol (not drift), and a
+// justified legacy use can be suppressed.
+#include <vector>
+
+// mihn-check: drift-ok(migration staging area exercised by the self-test)
+#include "src/diagnose/tools.h"
+
+namespace fixture {
+
+std::vector<double> Oracle() {
+  // The oracle keeps its own name; only the deprecated production entry
+  // point SolveMaxMin (mentioned here in a comment only) is banned.
+  return mihn::fabric::SolveMaxMinReference({}, {});
+}
+
+}  // namespace fixture

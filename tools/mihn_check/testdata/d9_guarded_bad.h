@@ -1,0 +1,31 @@
+// Fixture: a class that opted into thread-safety annotations but left
+// mutable members unguarded.
+#ifndef MIHN_D9_GUARDED_BAD_H_
+#define MIHN_D9_GUARDED_BAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/mutex.h"
+#include "src/core/thread_annotations.h"
+
+namespace fixture {
+
+class Ring {
+ public:
+  void Push(int v) MIHN_EXCLUDES(mu_) {
+    mihn::core::MutexLock lock(&mu_);
+    buf_.push_back(v);
+    ++writes_;
+  }
+
+ private:
+  mutable mihn::core::Mutex mu_;
+  std::vector<int> buf_;    // BAD: no MIHN_GUARDED_BY.
+  uint64_t writes_ = 0;     // BAD: no MIHN_GUARDED_BY.
+  const int capacity_ = 8;  // OK: const.
+};
+
+}  // namespace fixture
+
+#endif  // MIHN_D9_GUARDED_BAD_H_

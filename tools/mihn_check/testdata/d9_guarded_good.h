@@ -1,0 +1,45 @@
+// Fixture: a fully annotated monitor (guarded, const, constexpr, atomic and
+// suppressed members) plus an unannotated class D9 leaves alone.
+#ifndef MIHN_D9_GUARDED_GOOD_H_
+#define MIHN_D9_GUARDED_GOOD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/mutex.h"
+#include "src/core/thread_annotations.h"
+
+namespace fixture {
+
+class Ring {
+ public:
+  void Push(int v) MIHN_EXCLUDES(mu_) {
+    mihn::core::MutexLock lock(&mu_);
+    buf_.push_back(v);
+    ++writes_;
+  }
+
+ private:
+  mutable mihn::core::Mutex mu_;
+  std::vector<int> buf_ MIHN_GUARDED_BY(mu_);
+  uint64_t writes_ MIHN_GUARDED_BY(mu_) = 0;
+  std::atomic<uint64_t> drops_{0};   // OK: atomic.
+  const int capacity_ = 8;           // OK: const.
+  static constexpr int kShards = 4;  // OK: constexpr.
+  // mihn-check: guarded-ok(reader-owned scratch, never shared across threads)
+  std::vector<int> scratch_;
+};
+
+// No mutex, no annotations: D9 does not apply.
+class Plain {
+ public:
+  int value() const { return value_; }
+
+ private:
+  int value_ = 0;
+};
+
+}  // namespace fixture
+
+#endif  // MIHN_D9_GUARDED_GOOD_H_
