@@ -22,7 +22,8 @@ RingResult RunRing(const std::vector<topology::ComponentId>& gpus, bool with_int
   HostNetwork::Options options;
   options.preset = HostNetwork::Preset::kDgxClass;
   options.autostart = HostNetwork::Autostart::kNone;
-  HostNetwork host(options);
+  sim::Simulation sim;
+  HostNetwork host(sim, options);
 
   // Remap GPU indices onto this instance's components.
   std::vector<topology::ComponentId> ring;

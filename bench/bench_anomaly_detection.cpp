@@ -30,7 +30,8 @@ struct Outcome {
 Outcome RunCase(const fabric::LinkFault& fault) {
   HostNetwork::Options options;
   options.autostart = HostNetwork::Autostart::kNone;
-  HostNetwork host(options);
+  sim::Simulation sim;
+  HostNetwork host(sim, options);
   const auto& server = host.server();
 
   // Light background load (8 GB/s of ~29) so a capacity fault congests the

@@ -22,7 +22,8 @@ struct PhaseResult {
 PhaseResult RunPhase(bool trainer_on, double pace_gbps) {
   HostNetwork::Options options;
   options.autostart = HostNetwork::Autostart::kNone;
-  HostNetwork host(options);
+  sim::Simulation sim;
+  HostNetwork host(sim, options);
   const auto& server = host.server();
 
   workload::KvClient::Config kv_config;

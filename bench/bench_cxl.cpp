@@ -22,7 +22,8 @@ int main() {
   spec.intra_socket.capacity = sim::Bandwidth::GBps(40);
   HostNetwork::Options options;
   options.autostart = HostNetwork::Autostart::kNone;
-  HostNetwork host(topology::BuildServer(spec), options);
+  sim::Simulation sim;
+  HostNetwork host(sim, topology::BuildServer(spec), options);
   const auto& server = host.server();
 
   // Path comparison table.

@@ -36,7 +36,8 @@ int main() {
     options.fabric.ddio_enabled = ways > 0;
     options.fabric.ddio_ways = std::max(ways, 1);
     options.fabric.way_bytes = 256 * 1024;
-    HostNetwork host(topology::BuildServer(spec), options);
+    sim::Simulation sim;
+    HostNetwork host(sim, topology::BuildServer(spec), options);
     const auto& server = host.server();
     const topology::ComponentId socket = server.sockets[0];
 

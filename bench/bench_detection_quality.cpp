@@ -23,7 +23,8 @@ TrialOutcome RunTrial(uint64_t seed, bool inject_fault) {
   HostNetwork::Options options;
   options.seed = seed;
   options.autostart = HostNetwork::Autostart::kNone;
-  HostNetwork host(options);
+  sim::Simulation sim(seed);
+  HostNetwork host(sim, options);
   const auto& server = host.server();
   sim::Rng rng = host.simulation().ForkRng(999);
 

@@ -15,7 +15,8 @@ int main() {
 
   HostNetwork::Options options;
   options.autostart = HostNetwork::Autostart::kNone;
-  HostNetwork host(options);
+  sim::Simulation sim;
+  HostNetwork host(sim, options);
   const auto& server = host.server();
 
   // --- hosttrace: per-hop decomposition equals the fabric's own probe. ---

@@ -81,7 +81,8 @@ int main() {
     spec.inter_host.capacity = sim::Bandwidth::Gbps(era.inter_host_gbps);
     HostNetwork::Options options;
     options.autostart = HostNetwork::Autostart::kNone;
-    HostNetwork host(topology::BuildServer(spec), options);
+    sim::Simulation sim;
+    HostNetwork host(sim, topology::BuildServer(spec), options);
 
     const Decomposition unloaded = Measure(host, false);
     const Decomposition congested = Measure(host, true);

@@ -75,7 +75,8 @@ int main() {
 
   HostNetwork::Options options;
   options.autostart = HostNetwork::Autostart::kNone;
-  HostNetwork host(options);
+  sim::Simulation sim;
+  HostNetwork host(sim, options);
 
   bench::Table table({{"class", 7},
                       {"kind", 18},

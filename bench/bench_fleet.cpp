@@ -1,0 +1,205 @@
+// Fleet scaling bench: per-tick cost of a Fleet as host count grows.
+//
+// A fleet tick is (a) advancing every host's events on the one shared
+// clock, (b) the cross-host coupling pass, (c) settling every fabric in
+// host order, and (d) the per-host telemetry reduction. The reduction is
+// the part that parallelises (Fleet::Options::aggregation_threads), so the
+// bench measures each host count both serial and threaded, and verifies
+// the two produce the same telemetry digest — the fleet's determinism
+// contract, enforced here exactly as in tests/fleet/fleet_test.cc but at
+// bench scale.
+//
+// Emits machine-readable BENCH_fleet.json in the working directory so the
+// scaling trajectory is tracked across PRs.
+//
+// Exits non-zero if any serial/threaded digest pair diverges, or if
+// per-tick cost grows super-linearly across a 4x host-count step (allow 8x
+// per 4x hosts over a 200 us noise floor: ticks should scale ~linearly
+// with fleet size since every host does constant work per tick here).
+//
+// Flags: --smoke  (reduced grid + tick count for CI smoke jobs)
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/fleet/fleet.h"
+
+namespace mihn {
+namespace {
+
+using fleet::CrossHostFlowSpec;
+using fleet::Fleet;
+
+double NowSec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Cross-host traffic proportional to fleet size: one intra-rack and one
+// cross-rack flow per 16 hosts, disjoint pairs, two tenants.
+int PlaceFlows(Fleet& f) {
+  int placed = 0;
+  for (int src = 0; src + 5 < f.host_count(); src += 16) {
+    CrossHostFlowSpec near;
+    near.tenant = 7;
+    near.src_host = src;
+    near.dst_host = src + 5;
+    f.StartCrossHostFlow(near);
+    ++placed;
+    if (src + 40 < f.host_count()) {
+      CrossHostFlowSpec far;
+      far.tenant = 9;
+      far.src_host = src + 2;
+      far.dst_host = src + 40;
+      far.demand = sim::Bandwidth::Gbps(80);
+      f.StartCrossHostFlow(far);
+      ++placed;
+    }
+  }
+  return placed;
+}
+
+struct Result {
+  int hosts = 0;
+  int racks = 0;
+  int flows = 0;
+  int ticks = 0;
+  double serial_ns_per_tick = 0.0;
+  double threaded_ns_per_tick = 0.0;
+  uint64_t digest = 0;
+  bool identical = false;
+};
+
+// One measured configuration: the same fleet run serial and with a
+// threaded reduction; wall cost per tick for each, digests compared.
+Result RunConfig(int hosts, int ticks, int threads) {
+  Result r;
+  r.hosts = hosts;
+  r.ticks = ticks;
+
+  const auto run = [&](int aggregation_threads, double* ns_per_tick) {
+    Fleet::Options options;
+    options.aggregation_threads = aggregation_threads;
+    Fleet f(hosts, options);
+    r.racks = f.inter_host().racks();
+    r.flows = PlaceFlows(f);
+    f.Run(2);  // Warm-up: events scheduled, coupling at its fixed point.
+    const double t0 = NowSec();
+    f.Run(ticks);
+    const double t1 = NowSec();
+    *ns_per_tick = (t1 - t0) * 1e9 / ticks;
+    return f.TelemetryDigest();
+  };
+
+  const uint64_t serial_digest = run(0, &r.serial_ns_per_tick);
+  const uint64_t threaded_digest = run(threads, &r.threaded_ns_per_tick);
+  r.digest = serial_digest;
+  r.identical = serial_digest == threaded_digest;
+  return r;
+}
+
+// Per-tick cost must scale ~linearly in host count: across each 4x
+// host-count step allow at most 8x over a 200 us floor.
+bool CheckScalingSane(const std::vector<Result>& results) {
+  bool ok = true;
+  for (const Result& big : results) {
+    for (const Result& small : results) {
+      if (big.hosts != 4 * small.hosts) {
+        continue;
+      }
+      const double allowed = 8.0 * std::max(small.serial_ns_per_tick, 2e5);
+      if (big.serial_ns_per_tick > allowed) {
+        std::fprintf(stderr,
+                     "SCALING VIOLATION: %d hosts -> %.0f ns/tick but %d hosts -> "
+                     "%.0f ns/tick (allowed <= %.0f)\n",
+                     small.hosts, small.serial_ns_per_tick, big.hosts,
+                     big.serial_ns_per_tick, allowed);
+        ok = false;
+      }
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+}  // namespace mihn
+
+int main(int argc, char** argv) {
+  using namespace mihn;
+
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  bench::Banner("fleet_scaling",
+                "Per-tick cost of a shared-clock fleet vs host count; serial vs "
+                "threaded telemetry reduction, digests compared");
+  bench::Table table({{"hosts", 8},
+                      {"racks", 8},
+                      {"flows", 8},
+                      {"ticks", 8},
+                      {"serial us/tick", 16},
+                      {"threaded us/tick", 18},
+                      {"per-host us", 13},
+                      {"identical", 10}});
+
+  const std::vector<int> host_grid = smoke ? std::vector<int>{16, 64}
+                                           : std::vector<int>{16, 64, 256};
+  const int ticks = smoke ? 5 : 20;
+  const int threads = 4;
+
+  std::vector<Result> results;
+  for (const int hosts : host_grid) {
+    results.push_back(RunConfig(hosts, ticks, threads));
+  }
+
+  for (const Result& r : results) {
+    table.Row({std::to_string(r.hosts), std::to_string(r.racks), std::to_string(r.flows),
+               std::to_string(r.ticks), bench::Fmt("%.1f", r.serial_ns_per_tick / 1e3),
+               bench::Fmt("%.1f", r.threaded_ns_per_tick / 1e3),
+               bench::Fmt("%.2f", r.serial_ns_per_tick / 1e3 / r.hosts),
+               r.identical ? "yes" : "NO"});
+  }
+
+  std::FILE* json = std::fopen("BENCH_fleet.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"bench\": \"fleet_scaling\",\n");
+    std::fprintf(json, "  \"smoke\": %s,\n  \"unit\": \"ns_per_tick\",\n  \"results\": [\n",
+                 smoke ? "true" : "false");
+    for (size_t i = 0; i < results.size(); ++i) {
+      const Result& r = results[i];
+      std::fprintf(json,
+                   "    {\"hosts\": %d, \"racks\": %d, \"cross_host_flows\": %d, "
+                   "\"ticks\": %d, \"serial_ns_per_tick\": %.0f, "
+                   "\"threaded_ns_per_tick\": %.0f, \"ns_per_tick_per_host\": %.0f, "
+                   "\"digest\": \"%016llx\", \"identical\": %s}%s\n",
+                   r.hosts, r.racks, r.flows, r.ticks, r.serial_ns_per_tick,
+                   r.threaded_ns_per_tick, r.serial_ns_per_tick / r.hosts,
+                   static_cast<unsigned long long>(r.digest), r.identical ? "true" : "false",
+                   i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("\nwrote BENCH_fleet.json\n");
+  }
+
+  bool all_identical = true;
+  for (const Result& r : results) {
+    all_identical = all_identical && r.identical;
+  }
+  if (!all_identical) {
+    std::fprintf(stderr, "FAIL: serial vs threaded digest mismatch\n");
+  }
+  return all_identical && CheckScalingSane(results) ? 0 : 1;
+}

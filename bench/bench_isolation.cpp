@@ -21,7 +21,8 @@ TenantRates RunMode(manager::ManagerConfig::Mode mode) {
   HostNetwork::Options options;
   options.autostart = HostNetwork::Autostart::kNone;
   options.manager.mode = mode;
-  HostNetwork host(options);
+  sim::Simulation sim;
+  HostNetwork host(sim, options);
   const auto& server = host.server();
   auto& mgr = host.manager();
 
@@ -119,7 +120,8 @@ int main() {
     options.autostart = HostNetwork::Autostart::kNone;
     options.manager.mode = manager::ManagerConfig::Mode::kStatic;
     options.manager.arbiter_quantum = sim::TimeNs::Micros(quantum_us);
-    HostNetwork host(options);
+    sim::Simulation sim;
+    HostNetwork host(sim, options);
     const auto& server = host.server();
     auto& mgr = host.manager();
     const auto alice = mgr.RegisterTenant("alice", 1.0);

@@ -23,7 +23,8 @@ int main() {
   for (const double loopback_gbps : {0.0, 4.0, 8.0, 16.0, 24.0, 64.0}) {
     HostNetwork::Options options;
     options.autostart = HostNetwork::Autostart::kNone;
-    HostNetwork host(options);
+    sim::Simulation sim;
+    HostNetwork host(sim, options);
     const auto& server = host.server();
 
     // Victim 1: bulk SSD ingest sharing nic0's switch and root port.

@@ -22,11 +22,13 @@ HostNetwork::Options Quiet() {
 
 // A host with |n| attached allocated flows plus |n| scavengers.
 struct LoadedHost {
+  std::unique_ptr<sim::Simulation> sim;
   std::unique_ptr<HostNetwork> host;
   std::vector<fabric::FlowId> flows;
 
   explicit LoadedHost(int n) {
-    host = std::make_unique<HostNetwork>(Quiet());
+    sim = std::make_unique<sim::Simulation>();
+    host = std::make_unique<HostNetwork>(*sim, Quiet());
     auto& mgr = host->manager();
     const auto& server = host->server();
     const auto tenant = mgr.RegisterTenant("t", 1.0);
@@ -54,7 +56,8 @@ struct LoadedHost {
 };
 
 void BM_InterpretIntent(benchmark::State& state) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   const auto path = *host.fabric().Route(host.server().ssds[0], host.server().dimms[0]);
   for (auto _ : state) {
     benchmark::DoNotOptimize(manager::Interpret(path, sim::Bandwidth::GBps(10)));
@@ -65,7 +68,8 @@ BENCHMARK(BM_InterpretIntent);
 void BM_SchedulerPlace(benchmark::State& state) {
   HostNetwork::Options options = Quiet();
   options.preset = HostNetwork::Preset::kDgxClass;
-  HostNetwork host(options);
+  sim::Simulation sim;
+  HostNetwork host(sim, options);
   manager::Scheduler scheduler(host.fabric(), manager::SchedulerConfig{});
   manager::PerformanceTarget target;
   target.src = host.server().gpus[0];
@@ -78,7 +82,8 @@ void BM_SchedulerPlace(benchmark::State& state) {
 BENCHMARK(BM_SchedulerPlace);
 
 void BM_SubmitAndRelease(benchmark::State& state) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   auto& mgr = host.manager();
   const auto tenant = mgr.RegisterTenant("t", 1.0);
   manager::PerformanceTarget target;
@@ -139,7 +144,8 @@ void BM_FabricRecompute(benchmark::State& state) {
 BENCHMARK(BM_FabricRecompute)->Arg(4)->Arg(16)->Arg(64);
 
 void BM_ProbePathLatency(benchmark::State& state) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   const auto path = *host.fabric().Route(host.server().external_hosts[0],
                                          host.server().dimms[0]);
   for (auto _ : state) {
@@ -149,7 +155,8 @@ void BM_ProbePathLatency(benchmark::State& state) {
 BENCHMARK(BM_ProbePathLatency);
 
 void BM_HostTrace(benchmark::State& state) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   for (auto _ : state) {
     benchmark::DoNotOptimize(host.diagnose().Trace(host.server().external_hosts[0],
                                                    host.server().dimms[0]));

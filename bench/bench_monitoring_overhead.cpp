@@ -26,7 +26,8 @@ int main() {
     options.autostart = HostNetwork::Autostart::kCollectorOnly;
     options.telemetry.period = sim::TimeNs::Micros(period_us);
     options.telemetry.series_capacity = 1024;
-    HostNetwork host(options);  // Collector auto-starts, reporting to the store.
+    sim::Simulation sim;
+    HostNetwork host(sim, options);  // Collector auto-starts, reporting to the store.
     const auto& server = host.server();
 
     workload::KvClient::Config kv_config;

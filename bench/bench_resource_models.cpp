@@ -25,7 +25,8 @@ ModelOutcome RunModel(manager::ResourceModel model, int targets, double target_g
   HostNetwork::Options options;
   options.autostart = HostNetwork::Autostart::kNone;
   options.manager.mode = manager::ManagerConfig::Mode::kStatic;
-  HostNetwork host(options);
+  sim::Simulation sim;
+  HostNetwork host(sim, options);
   const auto& server = host.server();
   auto& mgr = host.manager();
   const auto tenant = mgr.RegisterTenant("tenant", 1.0, model);

@@ -33,7 +33,8 @@ PlacementOutcome RunPlacement(bool topology_aware, int jobs, double job_gbps) {
   options.autostart = HostNetwork::Autostart::kNone;
   options.manager.scheduler.topology_aware = topology_aware;
   options.manager.scheduler.k_paths = 8;
-  HostNetwork host(topology::BuildServer(spec), options);
+  sim::Simulation sim;
+  HostNetwork host(sim, topology::BuildServer(spec), options);
   const auto& server = host.server();
   auto& mgr = host.manager();
   const auto tenant = mgr.RegisterTenant("jobs", 1.0);

@@ -17,7 +17,8 @@ int main() {
   // A small DDIO so commodity NIC rates overflow it (2 ways x 256 KiB).
   options.fabric.ddio_ways = 2;
   options.fabric.way_bytes = 256 * 1024;
-  HostNetwork host(options);
+  sim::Simulation sim;
+  HostNetwork host(sim, options);
   const auto& server = host.server();
   const topology::ComponentId socket = server.sockets[0];
 

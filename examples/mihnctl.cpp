@@ -65,9 +65,10 @@ int main(int argc, char** argv) {
   // Build the host: preset, or a user-described topology.
   HostNetwork::Options options;
   options.autostart = HostNetwork::Autostart::kNone;
+  sim::Simulation sim;
   std::unique_ptr<HostNetwork> host;
   if (topo_file.empty()) {
-    host = std::make_unique<HostNetwork>(options);
+    host = std::make_unique<HostNetwork>(sim, options);
   } else {
     std::ifstream in(topo_file);
     if (!in) {
@@ -88,7 +89,7 @@ int main(int argc, char** argv) {
     }
     topology::Server server;
     server.topo = std::move(*parsed.topology);
-    host = std::make_unique<HostNetwork>(std::move(server), options);
+    host = std::make_unique<HostNetwork>(sim, std::move(server), options);
   }
   const topology::Topology& topo = host->topo();
 

@@ -23,7 +23,8 @@ void Run(manager::ManagerConfig::Mode mode) {
   HostNetwork::Options options;
   options.manager.mode = mode;
   options.autostart = HostNetwork::Autostart::kCollectorOnly;  // We drive arbitration explicitly below.
-  HostNetwork host(options);
+  sim::Simulation sim;
+  HostNetwork host(sim, options);
   const auto& server = host.server();
   auto& mgr = host.manager();
 

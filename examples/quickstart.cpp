@@ -26,7 +26,8 @@ int main(int argc, char** argv) {
   //    memory, PCIe switches, NICs, GPUs, SSDs, remote peers.
   HostNetwork::Options options;
   options.trace.enabled = tracing;
-  HostNetwork host(options);
+  sim::Simulation sim;
+  HostNetwork host(sim, options);
   std::printf("== topology ==\n%s\n", host.topo().Describe().c_str());
 
   const auto& server = host.server();

@@ -13,7 +13,8 @@
 
 int main() {
   using namespace mihn;
-  HostNetwork host;
+  sim::Simulation sim;
+  HostNetwork host(sim);
   const auto& server = host.server();
 
   // Background application traffic so the host looks alive.

@@ -147,12 +147,16 @@ TrialResult Campaign::RunTrial(int trial, uint64_t seed, std::string* error) {
 
   HostNetwork::Options options;
   options.preset = config_.preset;
-  options.seed = seed;
   options.telemetry.period = config_.telemetry_period;
   // Collector + manager running; telemetry processed in place so the
   // monitoring stream itself doesn't cross scheduled fault links.
   options.autostart = HostNetwork::Autostart::kAllUnreported;
-  HostNetwork host(options);
+  // The trial owns the clock and injects it (the same seam the fleet layer
+  // and a future parallel trial executor use); seeding the Simulation
+  // directly is byte-identical to the old owning-constructor path, which
+  // forwarded Options::seed to the very same constructor.
+  sim::Simulation sim(seed);
+  HostNetwork host(sim, options);
 
   std::string resolve_error;
   std::vector<ResolvedFault> resolved = config_.schedule.Resolve(host.topo(), &resolve_error);

@@ -3,8 +3,8 @@
 // inter-host networks").
 //
 // A Session binds the diagnostic toolbox to one fabric once, instead of
-// every probe re-taking a fabric::Fabric& (the pre-Session API, still
-// available as deprecated wrappers in tools.h):
+// every probe re-taking a fabric::Fabric& (the pre-Session free-function
+// API is retired; mihn-check D8 keeps its header banned):
 //
 //   diagnose::Session dx(fabric);
 //   auto ping = dx.Ping(gpu0, ssd1);
@@ -152,7 +152,7 @@ class Session {
   // One line per captured flow: id, tenant, class, rate, path.
   std::string Render(const CaptureReport& capture) const;
 
-  // Pure formatters, shared with the legacy wrappers in tools.h.
+  // Pure formatters, usable without a Session instance.
   static std::string RenderTraceReport(const TraceReport& trace);
   static std::string RenderFlowTable(const topology::Topology& topo,
                                      const std::vector<fabric::FlowInfo>& flows);

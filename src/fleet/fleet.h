@@ -1,0 +1,195 @@
+// Fleet: many HostNetworks on one shared virtual clock, coupled by the
+// inter-host rack/ToR model and aggregated into fleet-wide telemetry.
+//
+// The paper argues the intra-host network needs the same manageability as
+// the inter-host network; a data-center operator runs thousands of such
+// hosts at once. Fleet is that operator's view in this repo: it owns the
+// single sim::Simulation, constructs every host through HostNetwork's
+// clock-injection constructors (the API redesign this layer motivated), and
+// advances all of them in lock-step ticks:
+//
+//   fleet::Fleet fleet(256);
+//   auto flow = fleet.StartCrossHostFlow({.tenant = 7, .src_host = 0,
+//                                         .dst_host = 9});
+//   fleet.Run(20);                         // 20 ticks on the shared clock.
+//   uint64_t digest = fleet.TelemetryDigest();
+//   auto view = fleet.RootCauseView();
+//
+// Determinism contract: a fleet run is a pure function of (host count,
+// options, placement calls). Host fabrics are settled in host order — the
+// settle pass is where fabric solves may schedule completion events on the
+// shared clock, so its order *is* the event insertion order — and the
+// per-host telemetry reduction (snapshot + rollup, the bulk of tick cost
+// at fleet scale) fans out across Options::aggregation_threads and is
+// merged back strictly in host order. Digests are therefore byte-identical
+// across runs, thread counts, and cross-host placement order.
+
+#ifndef MIHN_SRC_FLEET_FLEET_H_
+#define MIHN_SRC_FLEET_FLEET_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/anomaly/heartbeat.h"
+#include "src/anomaly/root_cause.h"
+#include "src/fleet/inter_host.h"
+#include "src/fleet/report.h"
+#include "src/host/host_network.h"
+
+namespace mihn::fleet {
+
+// The per-host options template the fleet defaults to: telemetry and
+// management services off (Autostart::kNone). The fleet aggregates
+// telemetry centrally; 256 per-host collectors each ticking the shared
+// clock would dominate every run. Opt back in via Options::host.
+HostNetwork::Options DefaultHostOptions();
+
+// One tenant flow spanning two hosts: an intra-host stage on the source
+// (device -> NIC), an inter-host stage (uplink/rack/downlink), and an
+// intra-host stage on the destination (NIC -> device). The fleet couples
+// the three each tick: every stage's allocation caps the others.
+struct CrossHostFlowSpec {
+  fabric::TenantId tenant = fabric::kNoTenant;
+  int src_host = 0;
+  int dst_host = 0;
+  // kInvalidComponent picks the host's first SSD (source) / first DIMM
+  // (destination) — a storage-read-into-memory shape.
+  topology::ComponentId src_device = topology::kInvalidComponent;
+  topology::ComponentId dst_device = topology::kInvalidComponent;
+  sim::Bandwidth demand = sim::Bandwidth::Gbps(40);
+  double weight = 1.0;
+};
+
+using CrossFlowId = int64_t;
+inline constexpr CrossFlowId kInvalidCrossFlow = -1;
+
+// Fleet-level root-cause view: per-host congestion reports (host order),
+// saturated inter-host links, per-host heartbeat alarms (when meshes are
+// enabled), and the fleet-wide tenant suspect ranking.
+struct FleetSuspect {
+  fabric::TenantId tenant = fabric::kNoTenant;
+  double share_sum = 0.0;  // Summed congested-link shares across the fleet.
+  int hosts_implicated = 0;
+};
+
+struct HostCongestion {
+  int host = 0;
+  std::vector<anomaly::CongestionReport> reports;
+};
+
+struct HostAlarm {
+  int host = 0;
+  sim::TimeNs first_alarm_at;
+  topology::LinkId top_suspect = topology::kInvalidLink;
+  double score = 0.0;
+};
+
+struct FleetRootCause {
+  std::vector<HostCongestion> hosts;          // Only hosts with congested links.
+  std::vector<InterHostLinkUse> inter_links;  // Inter-host links at/over threshold.
+  std::vector<HostAlarm> alarms;              // Only hosts whose mesh alarmed.
+  std::vector<FleetSuspect> suspects;         // Descending share_sum.
+};
+
+class Fleet {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    sim::TimeNs tick_period = sim::TimeNs::Millis(1);
+    // Inter-host capacities and rack width; Config::hosts is overwritten
+    // with the fleet's host count.
+    InterHostNetwork::Config inter;
+    // Template applied to every host. Options::seed is ignored (the fleet
+    // seeds the one shared clock); Options::trace must stay disabled (a
+    // Simulation has a single observer slot).
+    HostNetwork::Options host = DefaultHostOptions();
+    // Threads for the per-host telemetry reduction. <= 1 runs serially;
+    // results are byte-identical either way (merge is in host order).
+    int aggregation_threads = 0;
+    // Directed-link utilization at/above this counts as congested, in both
+    // per-host rollups and RootCauseView().
+    double congestion_threshold = 0.9;
+  };
+
+  explicit Fleet(int num_hosts);
+  Fleet(int num_hosts, Options options);
+
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
+  ~Fleet();
+
+  // -- Topology ----------------------------------------------------------------
+  int host_count() const { return static_cast<int>(hosts_.size()); }
+  HostNetwork& host(int i) { return *hosts_[static_cast<size_t>(i)]; }
+  InterHostNetwork& inter_host() { return inter_; }
+  sim::Simulation& simulation() { return sim_; }
+  sim::TimeNs Now() const { return sim_.Now(); }
+  const Options& options() const { return options_; }
+
+  // -- Cross-host placement ----------------------------------------------------
+  // Starts the three coupled stages. The end-to-end rate settles over the
+  // following ticks (one coupling pass per tick).
+  CrossFlowId StartCrossHostFlow(const CrossHostFlowSpec& spec);
+  void StopCrossHostFlow(CrossFlowId id);
+  // Last coupled end-to-end rate (zero before the first tick after start).
+  sim::Bandwidth CrossHostRate(CrossFlowId id) const;
+  int cross_host_flow_count() const { return static_cast<int>(cross_flows_.size()); }
+
+  // -- Time --------------------------------------------------------------------
+  // One fleet tick: advance the shared clock by tick_period, re-couple
+  // cross-host flows, settle every fabric in host order, aggregate one
+  // FleetSample. Returns the new sample.
+  const FleetSample& Tick();
+  void Run(int ticks);
+
+  // -- Telemetry ---------------------------------------------------------------
+  const std::vector<FleetSample>& samples() const { return samples_; }
+  // FNV-1a 64 digest of the full sample history (see report.h).
+  uint64_t TelemetryDigest() const { return DigestSamples(samples_); }
+  // JSON report over the sample history (see report.h).
+  std::string RenderReport() const;
+  bool WriteReportFile(const std::string& path) const;
+
+  // -- Anomaly -----------------------------------------------------------------
+  // Builds and starts one heartbeat mesh per host (config.participants is
+  // replaced per host with that host's Devices()). Idempotent.
+  void EnableHeartbeats(anomaly::HeartbeatMesh::Config config = {});
+  bool heartbeats_enabled() const { return !meshes_.empty(); }
+
+  // Fleet-level root cause: every host's congested links and suspects,
+  // merged in host order, plus saturated inter-host links and heartbeat
+  // alarms.
+  FleetRootCause RootCauseView();
+
+ private:
+  struct CrossFlow {
+    CrossHostFlowSpec spec;
+    fabric::FlowId src_flow = fabric::kInvalidFlow;
+    fabric::FlowId dst_flow = fabric::kInvalidFlow;
+    int32_t inter_slot = -1;
+    double coupled_rate_bps = 0.0;
+  };
+
+  void CoupleCrossHostFlows();
+  // Forces every fabric's pending solve, in host order (event scheduling
+  // happens here, deterministically).
+  void SettleHosts();
+  FleetSample AggregateSample();
+  HostSample ReduceHost(int i);
+
+  Options options_;
+  // Declaration order is destruction-safety: the clock outlives the hosts
+  // (hosts_ destructs first), per HostNetwork's shared-clock lifetime rule.
+  sim::Simulation sim_;
+  std::vector<std::unique_ptr<HostNetwork>> hosts_;
+  InterHostNetwork inter_;
+  std::vector<std::unique_ptr<anomaly::HeartbeatMesh>> meshes_;  // Empty unless enabled.
+  std::map<CrossFlowId, CrossFlow> cross_flows_;  // Ordered: deterministic coupling.
+  CrossFlowId next_cross_id_ = 1;
+  std::vector<FleetSample> samples_;
+};
+
+}  // namespace mihn::fleet
+
+#endif  // MIHN_SRC_FLEET_FLEET_H_

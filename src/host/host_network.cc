@@ -24,7 +24,28 @@ HostNetwork::HostNetwork() : HostNetwork(Options{}) {}
 HostNetwork::HostNetwork(Options options) : HostNetwork(BuildPreset(options.preset), options) {}
 
 HostNetwork::HostNetwork(topology::Server server, Options options)
-    : sim_(options.seed), server_(std::move(server)) {
+    : HostNetwork(std::make_unique<sim::Simulation>(options.seed), nullptr, std::move(server),
+                  std::move(options)) {}
+
+HostNetwork::HostNetwork(sim::Simulation& sim) : HostNetwork(sim, Options{}) {}
+
+HostNetwork::HostNetwork(sim::Simulation& sim, Options options)
+    : HostNetwork(nullptr, &sim, BuildPreset(options.preset), std::move(options)) {}
+
+HostNetwork::HostNetwork(sim::Simulation& sim, topology::Server server, Options options)
+    : HostNetwork(nullptr, &sim, std::move(server), std::move(options)) {}
+
+HostNetwork::~HostNetwork() {
+  if (sim_observer_ != nullptr) {
+    sim_.SetEventObserver(nullptr);
+  }
+}
+
+HostNetwork::HostNetwork(std::unique_ptr<sim::Simulation> owned, sim::Simulation* borrowed,
+                         topology::Server server, Options options)
+    : owned_sim_(std::move(owned)),
+      sim_(owned_sim_ != nullptr ? *owned_sim_ : *borrowed),
+      server_(std::move(server)) {
   tracer_ = std::make_unique<obs::Tracer>(options.trace, &sim_);
   if (tracer_->enabled()) {
     sim_observer_ = std::make_unique<obs::SimTraceObserver>(tracer_.get());

@@ -1,12 +1,20 @@
 // HostNetwork: the assembled manageable intra-host network.
 //
-// The one-stop facade a downstream user starts from: it owns the simulation
-// clock, a server topology (preset or custom), the fabric simulator, the
-// fine-grained monitoring collector (building block 1), and the holistic
-// resource manager (building block 2), wired together. Examples and
+// The one-stop facade a downstream user starts from: a server topology
+// (preset or custom), the fabric simulator, the fine-grained monitoring
+// collector (building block 1), and the holistic resource manager
+// (building block 2), wired together over a virtual clock. Examples and
 // benchmarks build on this; power users can instead compose the pieces
 // from src/{sim,topology,fabric,telemetry,anomaly,diagnose,manager}
 // directly — HostNetwork adds no behaviour of its own.
+//
+// Clock ownership: the preferred constructors *borrow* a caller-owned
+// sim::Simulation, so many hosts can share one virtual clock and one
+// pooled event queue — the seam the fleet layer (src/fleet/) is built on.
+// The legacy owning constructors remain as thin wrappers that allocate a
+// private Simulation seeded from Options::seed and delegate; single-host
+// call sites inside this repo use the clock-injection form (enforced by
+// mihn-check rule D8:owned-clock outside a small allowlist).
 
 #ifndef MIHN_SRC_HOST_HOST_NETWORK_H_
 #define MIHN_SRC_HOST_HOST_NETWORK_H_
@@ -49,6 +57,9 @@ class HostNetwork {
 
   struct Options {
     Preset preset = Preset::kCommodityTwoSocket;
+    // Seeds the Simulation the *owning* wrappers allocate. Ignored on the
+    // clock-injection path: the clock's owner already seeded the root RNG,
+    // and one shared clock cannot take per-host seeds.
     uint64_t seed = 1;
     fabric::FabricConfig fabric;
     manager::ManagerConfig manager;
@@ -60,6 +71,26 @@ class HostNetwork {
     obs::TraceConfig trace;
   };
 
+  // -- Construction: clock injection (the redesigned surface) -----------------
+  // The network borrows |sim|, which must outlive it. Several hosts may
+  // share one Simulation: their events interleave on one virtual clock in
+  // deterministic (time, insertion-order) order while their fabrics stay
+  // fully independent. Lifetime rule for shared clocks: do not Run() the
+  // simulation after destroying a host that scheduled events on it (the
+  // fleet destroys hosts and clock together). At most one host per clock
+  // may enable Options::trace — the Simulation has a single observer slot.
+  //
+  // Builds the default preset server on the shared clock.
+  explicit HostNetwork(sim::Simulation& sim);
+  // Builds a preset server on the shared clock.
+  HostNetwork(sim::Simulation& sim, Options options);
+  // Wraps a caller-built server (takes ownership of the topology).
+  HostNetwork(sim::Simulation& sim, topology::Server server, Options options);
+
+  // -- Construction: owning wrappers ------------------------------------------
+  // Thin wrappers over the clock-injection path for standalone single-host
+  // use: each allocates a private Simulation seeded from Options::seed.
+  //
   // Builds the default preset server with default options.
   HostNetwork();
   // Builds a preset server.
@@ -70,8 +101,14 @@ class HostNetwork {
   HostNetwork(const HostNetwork&) = delete;
   HostNetwork& operator=(const HostNetwork&) = delete;
 
+  // Uninstalls this host's trace observer from a borrowed clock.
+  ~HostNetwork();
+
   // -- Component access ---------------------------------------------------------
   sim::Simulation& simulation() { return sim_; }
+  // True when this host allocated (and owns) its clock; false when the
+  // clock was injected.
+  bool owns_clock() const { return owned_sim_ != nullptr; }
   const topology::Server& server() const { return server_; }
   const topology::Topology& topo() const { return server_.topo; }
   fabric::Fabric& fabric() { return *fabric_; }
@@ -104,7 +141,13 @@ class HostNetwork {
       anomaly::HeartbeatMesh::Config config = {});
 
  private:
-  sim::Simulation sim_;
+  // All construction funnels here: exactly one of |owned| / |borrowed| is
+  // set, and sim_ aliases whichever that is.
+  HostNetwork(std::unique_ptr<sim::Simulation> owned, sim::Simulation* borrowed,
+              topology::Server server, Options options);
+
+  std::unique_ptr<sim::Simulation> owned_sim_;  // Null on the borrowed path.
+  sim::Simulation& sim_;
   topology::Server server_;
   std::unique_ptr<obs::Tracer> tracer_;
   std::unique_ptr<obs::SimTraceObserver> sim_observer_;  // Only when tracing.

@@ -16,14 +16,16 @@ HostNetwork::Options Quiet() {
 }
 
 TEST(HeartbeatTest, BuildsAllOrderedPairs) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   auto mesh = host.MakeHeartbeatMesh();
   const size_t n = host.Devices().size();
   EXPECT_EQ(mesh->pair_count(), n * (n - 1));
 }
 
 TEST(HeartbeatTest, NoAlarmsOnHealthyFabric) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   HeartbeatMesh::Config config;
   config.period = TimeNs::Millis(1);
   auto mesh = host.MakeHeartbeatMesh(config);
@@ -35,7 +37,8 @@ TEST(HeartbeatTest, NoAlarmsOnHealthyFabric) {
 }
 
 TEST(HeartbeatTest, DetectsSilentLatencyFault) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   HeartbeatMesh::Config config;
   config.period = TimeNs::Millis(1);
   auto mesh = host.MakeHeartbeatMesh(config);
@@ -56,7 +59,8 @@ TEST(HeartbeatTest, DetectsSilentLatencyFault) {
 }
 
 TEST(HeartbeatTest, LocalizesFaultedLinkFirst) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   HeartbeatMesh::Config config;
   config.period = TimeNs::Millis(1);
   auto mesh = host.MakeHeartbeatMesh(config);
@@ -82,7 +86,8 @@ TEST(HeartbeatTest, CapacityFaultAlsoDetected) {
   // A capacity-degraded switch link congests under load; the resulting
   // queueing latency trips the mesh even though the fault itself only
   // touches bandwidth.
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   HeartbeatMesh::Config config;
   config.period = TimeNs::Millis(1);
   config.degradation_factor = 1.5;
@@ -106,7 +111,8 @@ TEST(HeartbeatTest, CapacityFaultAlsoDetected) {
 }
 
 TEST(HeartbeatTest, RecoversWhenFaultCleared) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   HeartbeatMesh::Config config;
   config.period = TimeNs::Millis(1);
   auto mesh = host.MakeHeartbeatMesh(config);
@@ -122,7 +128,8 @@ TEST(HeartbeatTest, RecoversWhenFaultCleared) {
 }
 
 TEST(HeartbeatTest, ResetBaselinesClearsState) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   HeartbeatMesh::Config config;
   config.period = TimeNs::Millis(1);
   auto mesh = host.MakeHeartbeatMesh(config);
@@ -141,7 +148,8 @@ TEST(HeartbeatTest, ResetBaselinesClearsState) {
 }
 
 TEST(HeartbeatTest, ProbeTrafficIsVisibleInTelemetry) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   HeartbeatMesh::Config config;
   config.period = TimeNs::Millis(1);
   auto mesh = host.MakeHeartbeatMesh(config);
@@ -215,7 +223,8 @@ TEST(HeartbeatTest, ReroutedPairRestartsBaselineInsteadOfAlarming) {
 }
 
 TEST(HeartbeatTest, AlarmLogRecordsRaiseAndClearEpisodes) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   HeartbeatMesh::Config config;
   config.period = TimeNs::Millis(1);
   auto mesh = host.MakeHeartbeatMesh(config);

@@ -22,7 +22,8 @@ HostNetwork::Options Quiet() {
 }
 
 TEST(DetectorBankTest, FiresOnUtilizationStep) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   const auto& server = host.server();
   telemetry::Collector::Config tconfig;
   tconfig.period = TimeNs::Millis(1);
@@ -53,7 +54,8 @@ TEST(DetectorBankTest, FiresOnUtilizationStep) {
 }
 
 TEST(DetectorBankTest, ScanDoesNotReprocessOldPoints) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   telemetry::Collector::Config tconfig;
   tconfig.period = TimeNs::Millis(1);
   telemetry::Collector collector(host.fabric(), tconfig);
@@ -79,14 +81,16 @@ TEST(DetectorBankTest, ScanDoesNotReprocessOldPoints) {
 }
 
 TEST(RootCauseTest, QuietFabricHasNoCongestion) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   RootCauseAnalyzer analyzer(host.fabric());
   EXPECT_TRUE(analyzer.FindCongestedLinks().empty());
   EXPECT_EQ(analyzer.PrimarySuspect(), fabric::kNoTenant);
 }
 
 TEST(RootCauseTest, BlamesDominantTenant) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   const auto& server = host.server();
   workload::StreamSource::Config big;
   big.src = server.ssds[0];
@@ -120,7 +124,8 @@ TEST(RootCauseTest, BlamesDominantTenant) {
 }
 
 TEST(RootCauseTest, DiagnoseVictimFindsSharedHop) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   const auto& server = host.server();
   // Aggressor saturates ssd0 -> dimm0.
   workload::StreamSource::Config bulk;
@@ -141,7 +146,8 @@ TEST(RootCauseTest, DiagnoseVictimFindsSharedHop) {
 }
 
 TEST(RootCauseTest, FlagsSpillAsUnintendedConsumption) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   const auto& server = host.server();
   // Tiny DDIO -> heavy spill onto the memory bus.
   fabric::FabricConfig config;
@@ -171,13 +177,15 @@ TEST(RootCauseTest, FlagsSpillAsUnintendedConsumption) {
 }
 
 TEST(MisconfigTest, CleanDefaultConfigIsQuiet) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   MisconfigChecker checker(host.fabric());
   EXPECT_TRUE(checker.Check().empty());
 }
 
 TEST(MisconfigTest, FlagsSmallPayloadSize) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   fabric::FabricConfig config;
   config.max_payload_bytes = 128;
   host.fabric().SetConfig(config);
@@ -193,7 +201,8 @@ TEST(MisconfigTest, FlagsSmallPayloadSize) {
 }
 
 TEST(MisconfigTest, FlagsOrderingIommuAndModeration) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   fabric::FabricConfig config;
   config.relaxed_ordering = false;
   config.iommu_enabled = true;
@@ -213,7 +222,8 @@ TEST(MisconfigTest, FlagsOrderingIommuAndModeration) {
 }
 
 TEST(MisconfigTest, FlagsDdioThrashingFromObservedStats) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   const auto& server = host.server();
   fabric::FabricConfig config;
   config.way_bytes = 50 * 1024;
@@ -238,7 +248,8 @@ TEST(MisconfigTest, FlagsDdioThrashingFromObservedStats) {
 }
 
 TEST(MisconfigTest, FlagsDdioDisabledUnderIoLoad) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   const auto& server = host.server();
   fabric::FabricConfig config;
   config.ddio_enabled = false;

@@ -3,7 +3,6 @@
 #include <gtest/gtest.h>
 
 #include "src/host/host_network.h"
-#include "src/diagnose/tools.h"
 #include "src/workload/sources.h"
 
 namespace mihn::diagnose {
@@ -19,7 +18,8 @@ HostNetwork::Options Quiet() {
 }
 
 TEST(HostPingTest, UnloadedPingMatchesPathLatency) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   const auto& server = host.server();
   const auto result = host.diagnose().Ping(server.nics[0], server.sockets[0]);
   ASSERT_TRUE(result.probe.reachable);
@@ -29,7 +29,8 @@ TEST(HostPingTest, UnloadedPingMatchesPathLatency) {
 }
 
 TEST(HostPingTest, ProbeHeaderRecordsEndpointsAndTime) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   const auto& server = host.server();
   host.RunFor(TimeNs::Micros(5));
   const auto result = host.diagnose().Ping(server.nics[0], server.sockets[0]);
@@ -40,13 +41,15 @@ TEST(HostPingTest, ProbeHeaderRecordsEndpointsAndTime) {
 }
 
 TEST(HostPingTest, UnreachableReported) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   const auto result = host.diagnose().Ping(host.server().nics[0], host.server().nics[0]);
   EXPECT_FALSE(result.probe.reachable);
 }
 
 TEST(HostPingTest, PingSeesCongestion) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   const auto& server = host.server();
   const auto before = host.diagnose().Ping(server.nics[0], server.sockets[0]);
   workload::StreamSource::Config bulk;
@@ -59,7 +62,8 @@ TEST(HostPingTest, PingSeesCongestion) {
 }
 
 TEST(HostPingTest, SeriesCollectsDistribution) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   const auto& server = host.server();
   sim::Histogram latency;
   bool done = false;
@@ -75,7 +79,8 @@ TEST(HostPingTest, SeriesCollectsDistribution) {
 }
 
 TEST(HostPingTest, SeriesOnUnreachablePairReturnsEmpty) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   bool done = false;
   host.diagnose().PingSeries(host.server().nics[0], host.server().nics[0], 5,
                              TimeNs::Micros(10),
@@ -88,7 +93,8 @@ TEST(HostPingTest, SeriesOnUnreachablePairReturnsEmpty) {
 }
 
 TEST(HostTraceTest, BreaksDownPerHop) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   const auto& server = host.server();
   const auto trace = host.diagnose().Trace(server.external_hosts[0], server.dimms[0]);
   ASSERT_TRUE(trace.probe.reachable);
@@ -104,7 +110,8 @@ TEST(HostTraceTest, BreaksDownPerHop) {
 }
 
 TEST(HostTraceTest, PinpointsFaultedHop) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   const auto& server = host.server();
   const auto path = *host.fabric().Route(server.nics[0], server.sockets[0]);
   host.fabric().InjectLinkFault(path.hops[1].link, fabric::LinkFault{1.0, TimeNs::Micros(3)});
@@ -118,7 +125,8 @@ TEST(HostTraceTest, PinpointsFaultedHop) {
 }
 
 TEST(HostTraceTest, ShowsCongestedHopUtilization) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   const auto& server = host.server();
   workload::StreamSource::Config bulk;
   bulk.src = server.gpus[0];
@@ -137,7 +145,8 @@ TEST(HostTraceTest, ShowsCongestedHopUtilization) {
 }
 
 TEST(HostPerfTest, MeasuresBottleneckWhenIdle) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   const auto& server = host.server();
   const auto result = host.diagnose().Perf(server.ssds[0], server.dimms[0]);
   ASSERT_TRUE(result.probe.reachable);
@@ -149,7 +158,8 @@ TEST(HostPerfTest, MeasuresBottleneckWhenIdle) {
 }
 
 TEST(HostPerfTest, SeesContention) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   const auto& server = host.server();
   const double idle =
       host.diagnose().Perf(server.ssds[0], server.dimms[0]).initial_rate.ToGBps();
@@ -164,7 +174,8 @@ TEST(HostPerfTest, SeesContention) {
 }
 
 TEST(HostPerfTest, TimedRunAveragesOverWindow) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   const auto& server = host.server();
   PerfReport result;
   bool done = false;
@@ -182,7 +193,8 @@ TEST(HostPerfTest, TimedRunAveragesOverWindow) {
 }
 
 TEST(HostSharkTest, CapturesAndFilters) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   const auto& server = host.server();
   workload::StreamSource::Config a;
   a.src = server.ssds[0];
@@ -225,7 +237,8 @@ TEST(HostSharkTest, CapturesAndFilters) {
 }
 
 TEST(HostSharkTest, CapturesSpillCompanions) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   const auto& server = host.server();
   fabric::FabricConfig config;
   config.way_bytes = 50 * 1024;
@@ -242,33 +255,6 @@ TEST(HostSharkTest, CapturesSpillCompanions) {
   const auto spills = host.diagnose().Capture(spill_filter);
   ASSERT_EQ(spills.flows.size(), 1u);
   EXPECT_EQ(spills.flows[0].tenant, 3);  // Attribution preserved.
-}
-
-// The deprecated free-function wrappers must match the Session results
-// until removal.
-TEST(LegacyWrapperTest, WrappersDelegateToSession) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  HostNetwork host(Quiet());
-  const auto& server = host.server();
-
-  const PingResult ping = PingNow(host.fabric(), server.nics[0], server.sockets[0]);
-  const PingReport ping_new = host.diagnose().Ping(server.nics[0], server.sockets[0]);
-  ASSERT_TRUE(ping.reachable);
-  EXPECT_EQ(ping.latency, ping_new.latency);
-
-  const TraceResult trace = Trace(host.fabric(), server.nics[0], server.sockets[0]);
-  ASSERT_TRUE(trace.reachable);
-  EXPECT_EQ(RenderTrace(host.fabric(), trace),
-            host.diagnose().Render(host.diagnose().Trace(server.nics[0], server.sockets[0])));
-
-  const PerfResult perf = PerfNow(host.fabric(), server.ssds[0], server.dimms[0]);
-  const PerfReport perf_new = host.diagnose().Perf(server.ssds[0], server.dimms[0]);
-  ASSERT_TRUE(perf.reachable);
-  EXPECT_EQ(perf.initial_rate.bytes_per_sec(), perf_new.initial_rate.bytes_per_sec());
-
-  EXPECT_TRUE(CaptureFlows(host.fabric()).empty());  // Probes cleaned up.
-#pragma GCC diagnostic pop
 }
 
 }  // namespace

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <utility>
+
 namespace mihn {
 namespace {
 
@@ -85,6 +88,130 @@ TEST(HostNetworkTest, SeedControlsDeterminism) {
   };
   EXPECT_EQ(fingerprint(7), fingerprint(7));
   EXPECT_NE(fingerprint(7), fingerprint(8));
+}
+
+// -- Clock injection ----------------------------------------------------------
+
+HostNetwork::Options Quiet() {
+  HostNetwork::Options options;
+  options.autostart = HostNetwork::Autostart::kNone;
+  return options;
+}
+
+// Elastic SSD -> DIMM flow; returns (bytes_moved, rate) after |run|.
+std::pair<double, double> DriveOneFlow(HostNetwork& host, TimeNs run) {
+  fabric::FlowSpec spec;
+  spec.path = *host.fabric().Route(host.server().ssds[0], host.server().dimms[0]);
+  spec.tenant = 1;
+  const fabric::FlowId id = host.fabric().StartFlow(spec);
+  host.simulation().RunFor(run);
+  const auto info = host.fabric().GetFlowInfo(id);
+  return {static_cast<double>(info->bytes_moved), info->rate.bytes_per_sec()};
+}
+
+TEST(HostNetworkTest, BorrowedClockMatchesOwnedClock) {
+  // The owning wrappers are *thin*: an owned host seeded with s and a
+  // borrowed host on a caller-made Simulation(s) must be byte-identical.
+  HostNetwork::Options options = Quiet();
+  options.seed = 42;
+  HostNetwork owned(options);
+  ASSERT_TRUE(owned.owns_clock());
+  const auto owned_result = DriveOneFlow(owned, TimeNs::Millis(5));
+
+  sim::Simulation sim(42);
+  HostNetwork borrowed(sim, Quiet());
+  ASSERT_FALSE(borrowed.owns_clock());
+  const auto borrowed_result = DriveOneFlow(borrowed, TimeNs::Millis(5));
+
+  EXPECT_EQ(owned_result.first, borrowed_result.first);
+  EXPECT_EQ(owned_result.second, borrowed_result.second);
+  EXPECT_EQ(owned.simulation().ForkRng(9).NextU64(), sim.ForkRng(9).NextU64());
+}
+
+TEST(HostNetworkTest, TwoHostsShareOneClockWithInterleavedEvents) {
+  sim::Simulation sim;
+  HostNetwork a(sim, Quiet());
+  HostNetwork b(sim, Quiet());
+
+  // A continuous flow on a, a finite transfer on b: b's completion event
+  // interleaves with a's accrual on the same queue.
+  fabric::FlowSpec on_a;
+  on_a.path = *a.fabric().Route(a.server().ssds[0], a.server().dimms[0]);
+  const fabric::FlowId flow_a = a.fabric().StartFlow(on_a);
+
+  bool b_completed = false;
+  fabric::TransferSpec on_b;
+  on_b.flow.path = *b.fabric().Route(b.server().ssds[0], b.server().dimms[0]);
+  on_b.bytes = 1 << 20;
+  on_b.on_complete = [&](const fabric::TransferResult&) { b_completed = true; };
+  b.fabric().StartTransfer(on_b);
+
+  sim.RunFor(TimeNs::Millis(5));
+  EXPECT_TRUE(b_completed);
+  EXPECT_GT(a.fabric().GetFlowInfo(flow_a)->bytes_moved, 0);
+  // One clock: both hosts observe the same virtual now.
+  EXPECT_EQ(a.Now(), sim.Now());
+  EXPECT_EQ(b.Now(), sim.Now());
+}
+
+TEST(HostNetworkTest, SharedClockResultsIndependentOfConstructionOrder) {
+  // Two hosts with distinct workloads on one clock: each host's telemetry
+  // must not depend on which host was constructed (= registered its
+  // pre-advance hook) first.
+  struct PerHost {
+    double busy_bytes;
+    double idle_bytes;
+  };
+  const auto run = [](bool busy_first) {
+    sim::Simulation sim(3);
+    auto busy = std::make_unique<HostNetwork>(sim, Quiet());
+    std::unique_ptr<HostNetwork> idle;
+    if (!busy_first) {
+      idle = std::make_unique<HostNetwork>(sim, Quiet());
+      busy = std::make_unique<HostNetwork>(sim, Quiet());
+    } else {
+      idle = std::make_unique<HostNetwork>(sim, Quiet());
+    }
+    fabric::FlowSpec load;
+    load.path = *busy->fabric().Route(busy->server().gpus[0], busy->server().dimms[0]);
+    busy->fabric().StartFlow(load);
+    fabric::FlowSpec trickle;
+    trickle.path = *idle->fabric().Route(idle->server().ssds[0], idle->server().dimms[0]);
+    trickle.demand = sim::Bandwidth::Mbps(10);
+    idle->fabric().StartFlow(trickle);
+    sim.RunFor(TimeNs::Millis(3));
+    PerHost out;
+    out.busy_bytes = 0.0;
+    out.idle_bytes = 0.0;
+    for (const auto& snap : busy->fabric().SnapshotAll()) {
+      out.busy_bytes += snap.bytes_total;
+    }
+    for (const auto& snap : idle->fabric().SnapshotAll()) {
+      out.idle_bytes += snap.bytes_total;
+    }
+    return out;
+  };
+  const PerHost forward = run(true);
+  const PerHost reversed = run(false);
+  EXPECT_EQ(forward.busy_bytes, reversed.busy_bytes);
+  EXPECT_EQ(forward.idle_bytes, reversed.idle_bytes);
+}
+
+TEST(HostNetworkTest, DestructorReleasesObserverSlot) {
+  sim::Simulation sim;
+  {
+    HostNetwork::Options options = Quiet();
+    options.trace.enabled = true;
+    HostNetwork traced(sim, options);
+    traced.RunFor(TimeNs::Micros(10));
+  }
+  // The traced host uninstalled its observer on destruction; a second
+  // traced host on the same clock takes the freed slot.
+  HostNetwork::Options options = Quiet();
+  options.trace.enabled = true;
+  HostNetwork next(sim, options);
+  next.RunFor(TimeNs::Micros(10));
+  EXPECT_GE(sim.Now(), TimeNs::Micros(20));
 }
 
 }  // namespace

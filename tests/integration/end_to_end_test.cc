@@ -23,7 +23,8 @@ TEST(EndToEndTest, OperatorStoryDetectDiagnoseRemediate) {
   HostNetwork::Options options;
   options.manager.mode = manager::ManagerConfig::Mode::kStatic;
   options.autostart = HostNetwork::Autostart::kCollectorOnly;
-  HostNetwork host(options);
+  sim::Simulation sim;
+  HostNetwork host(sim, options);
   const auto& server = host.server();
   auto& mgr = host.manager();
 
@@ -87,7 +88,8 @@ TEST(EndToEndTest, OperatorStoryDetectDiagnoseRemediate) {
 TEST(EndToEndTest, ProbeIntentPredictsAdmission) {
   HostNetwork::Options options;
   options.autostart = HostNetwork::Autostart::kNone;
-  HostNetwork host(options);
+  sim::Simulation sim;
+  HostNetwork host(sim, options);
   auto& mgr = host.manager();
   const auto tenant = mgr.RegisterTenant("t");
   manager::PerformanceTarget target;
@@ -114,7 +116,8 @@ TEST(EndToEndTest, ProbeIntentPredictsAdmission) {
 TEST(EndToEndTest, BatchLimitsApplyAtomically) {
   HostNetwork::Options options;
   options.autostart = HostNetwork::Autostart::kNone;
-  HostNetwork host(options);
+  sim::Simulation sim;
+  HostNetwork host(sim, options);
   const auto& server = host.server();
   const auto path = *host.fabric().Route(server.ssds[0], server.dimms[0]);
   fabric::FlowSpec spec;
@@ -139,7 +142,8 @@ TEST(EndToEndTest, WorkConservingSplitsSlackByTenantWeight) {
   HostNetwork::Options options;
   options.autostart = HostNetwork::Autostart::kNone;
   options.manager.mode = manager::ManagerConfig::Mode::kWorkConserving;
-  HostNetwork host(options);
+  sim::Simulation sim;
+  HostNetwork host(sim, options);
   const auto& server = host.server();
   auto& mgr = host.manager();
   // Two tenants, weight 2 vs 1, small equal reservations on one path.
@@ -183,7 +187,8 @@ TEST(EndToEndTest, HeartbeatMeshWithUnreachableParticipantDegrades) {
   // one-component mesh yields zero pairs and never crashes).
   HostNetwork::Options options;
   options.autostart = HostNetwork::Autostart::kNone;
-  HostNetwork host(options);
+  sim::Simulation sim;
+  HostNetwork host(sim, options);
   anomaly::HeartbeatMesh::Config config;
   config.participants = {host.server().nics[0]};
   anomaly::HeartbeatMesh mesh(host.fabric(), config);
@@ -198,7 +203,8 @@ TEST(EndToEndTest, KvOverCxlHostWorks) {
   // The CXL preset composes with everything else.
   HostNetwork::Options options;
   options.autostart = HostNetwork::Autostart::kNone;
-  HostNetwork host(topology::CxlPooledServer(), options);
+  sim::Simulation sim;
+  HostNetwork host(sim, topology::CxlPooledServer(), options);
   workload::KvClient::Config kv_config;
   kv_config.client = host.server().external_hosts[0];
   kv_config.server = host.server().cxl_memories[0];  // KV data in CXL memory.
@@ -215,7 +221,8 @@ TEST(EndToEndTest, DetectorBankOverThroughputCatchesPacketFlood) {
   HostNetwork::Options options;
   options.autostart = HostNetwork::Autostart::kCollectorOnly;
   options.telemetry.period = TimeNs::Millis(1);
-  HostNetwork host(options);
+  sim::Simulation sim;
+  HostNetwork host(sim, options);
   const auto& server = host.server();
   const auto path = *host.fabric().Route(server.nics[0], server.sockets[0]);
 

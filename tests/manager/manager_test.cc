@@ -26,7 +26,8 @@ PerformanceTarget SsdTarget(const topology::Server& server, double gbps) {
 }
 
 TEST(ManagerTest, RegisterAndLookupTenant) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   Manager manager(host.fabric());
   const fabric::TenantId id = manager.RegisterTenant("alice", 2.0, ResourceModel::kHose);
   const Tenant* tenant = manager.GetTenant(id);
@@ -38,7 +39,8 @@ TEST(ManagerTest, RegisterAndLookupTenant) {
 }
 
 TEST(ManagerTest, SubmitIntentAdmitsAndReserves) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   Manager manager(host.fabric());
   const fabric::TenantId tenant = manager.RegisterTenant("alice");
   const auto result = manager.SubmitIntent(tenant, SsdTarget(host.server(), 10));
@@ -53,7 +55,8 @@ TEST(ManagerTest, SubmitIntentAdmitsAndReserves) {
 }
 
 TEST(ManagerTest, RejectsUnknownTenantAndBadTargets) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   Manager manager(host.fabric());
   EXPECT_FALSE(manager.SubmitIntent(42, SsdTarget(host.server(), 10)).ok());
   const fabric::TenantId tenant = manager.RegisterTenant("alice");
@@ -62,7 +65,8 @@ TEST(ManagerTest, RejectsUnknownTenantAndBadTargets) {
 }
 
 TEST(ManagerTest, AdmissionControlRejectsOversubscription) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   Manager manager(host.fabric());
   const fabric::TenantId tenant = manager.RegisterTenant("alice");
   // PCIe effective ~29 GB/s: two 14 GB/s fit, a third cannot.
@@ -74,7 +78,8 @@ TEST(ManagerTest, AdmissionControlRejectsOversubscription) {
 }
 
 TEST(ManagerTest, ReleaseFreesCapacity) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   Manager manager(host.fabric());
   const fabric::TenantId tenant = manager.RegisterTenant("alice");
   const auto first = manager.SubmitIntent(tenant, SsdTarget(host.server(), 20));
@@ -86,7 +91,8 @@ TEST(ManagerTest, ReleaseFreesCapacity) {
 }
 
 TEST(ManagerTest, HoseTenantSharesReservation) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   Manager manager(host.fabric());
   const fabric::TenantId hose = manager.RegisterTenant("hose", 1.0, ResourceModel::kHose);
   // Two targets from the same SSD over the same first hop: hose model
@@ -102,7 +108,8 @@ TEST(ManagerTest, HoseTenantSharesReservation) {
 }
 
 TEST(ManagerTest, StaticModeEnforcesReservation) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   ManagerConfig config;
   config.mode = ManagerConfig::Mode::kStatic;
   Manager manager(host.fabric(), config);
@@ -123,7 +130,8 @@ TEST(ManagerTest, StaticModeEnforcesReservation) {
 }
 
 TEST(ManagerTest, WorkConservingGrantsIdleHeadroom) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   ManagerConfig config;
   config.mode = ManagerConfig::Mode::kWorkConserving;
   Manager manager(host.fabric(), config);
@@ -141,7 +149,8 @@ TEST(ManagerTest, WorkConservingGrantsIdleHeadroom) {
 }
 
 TEST(ManagerTest, ScavengerThrottledToSlack) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   ManagerConfig config;
   config.mode = ManagerConfig::Mode::kStatic;
   Manager manager(host.fabric(), config);
@@ -170,7 +179,8 @@ TEST(ManagerTest, ScavengerThrottledToSlack) {
 }
 
 TEST(ManagerTest, PeriodicArbitrationRuns) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   ManagerConfig config;
   config.mode = ManagerConfig::Mode::kWorkConserving;
   config.arbiter_quantum = TimeNs::Micros(100);
@@ -184,7 +194,8 @@ TEST(ManagerTest, PeriodicArbitrationRuns) {
 }
 
 TEST(ManagerTest, OffModeDoesNothing) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   ManagerConfig config;
   config.mode = ManagerConfig::Mode::kOff;
   Manager manager(host.fabric(), config);
@@ -200,7 +211,8 @@ TEST(ManagerTest, OffModeDoesNothing) {
 }
 
 TEST(ManagerTest, TenantViewShowsVirtualLinks) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   Manager manager(host.fabric());
   const fabric::TenantId tenant = manager.RegisterTenant("alice");
   const auto alloc = manager.SubmitIntent(tenant, SsdTarget(host.server(), 10));
@@ -226,7 +238,8 @@ TEST(ManagerTest, TenantViewShowsVirtualLinks) {
 }
 
 TEST(ManagerTest, DetachRestoresFlowFreedom) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   ManagerConfig config;
   config.mode = ManagerConfig::Mode::kStatic;
   Manager manager(host.fabric(), config);
@@ -243,7 +256,8 @@ TEST(ManagerTest, DetachRestoresFlowFreedom) {
 }
 
 TEST(ManagerTest, AttachedFlowPrunedAfterCompletion) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   Manager manager(host.fabric());
   const fabric::TenantId tenant = manager.RegisterTenant("alice");
   const auto alloc = manager.SubmitIntent(tenant, SsdTarget(host.server(), 5));

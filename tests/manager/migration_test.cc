@@ -15,7 +15,8 @@ HostNetwork::Options Quiet() {
 }
 
 TEST(MigrationTest, MovesAllocationToNewEndpoints) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   Manager manager(host.fabric());
   const auto& server = host.server();
   const auto tenant = manager.RegisterTenant("alice");
@@ -41,7 +42,8 @@ TEST(MigrationTest, MovesAllocationToNewEndpoints) {
 }
 
 TEST(MigrationTest, SelfCreditAllowsMigrationWithinFullLink) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   Manager manager(host.fabric());
   const auto& server = host.server();
   const auto tenant = manager.RegisterTenant("alice");
@@ -58,7 +60,8 @@ TEST(MigrationTest, SelfCreditAllowsMigrationWithinFullLink) {
 }
 
 TEST(MigrationTest, FailureLeavesAllocationIntact) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   Manager manager(host.fabric());
   const auto& server = host.server();
   const auto tenant = manager.RegisterTenant("alice");
@@ -80,7 +83,8 @@ TEST(MigrationTest, FailureLeavesAllocationIntact) {
 }
 
 TEST(MigrationTest, UnknownAllocationRejected) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   Manager manager(host.fabric());
   const auto moved = manager.MigrateAllocation(42, 0, 1);
   EXPECT_FALSE(moved.ok());
@@ -88,7 +92,8 @@ TEST(MigrationTest, UnknownAllocationRejected) {
 }
 
 TEST(MigrationTest, AttachedFlowsAreDetachedAndUnlimited) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   ManagerConfig config;
   config.mode = ManagerConfig::Mode::kStatic;
   Manager manager(host.fabric(), config);
@@ -116,7 +121,8 @@ TEST(MigrationTest, AttachedFlowsAreDetachedAndUnlimited) {
 TEST(MigrationTest, VirtualViewFollowsTheMove) {
   // The tenant's virtual link persists across migration — same capacity,
   // new endpoints — without the tenant reconfiguring anything (§3.2).
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   Manager manager(host.fabric());
   const auto& server = host.server();
   const auto tenant = manager.RegisterTenant("alice");

@@ -18,7 +18,8 @@ HostNetwork::Options Quiet() {
 }
 
 TEST(SchedulerTest, PlacesFeasibleTarget) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   Scheduler scheduler(host.fabric(), SchedulerConfig{});
   PerformanceTarget target;
   target.src = host.server().gpus[0];
@@ -32,7 +33,8 @@ TEST(SchedulerTest, PlacesFeasibleTarget) {
 }
 
 TEST(SchedulerTest, RejectsOverCapacityTarget) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   Scheduler scheduler(host.fabric(), SchedulerConfig{});
   PerformanceTarget target;
   target.src = host.server().gpus[0];
@@ -42,7 +44,8 @@ TEST(SchedulerTest, RejectsOverCapacityTarget) {
 }
 
 TEST(SchedulerTest, RespectsLatencyBound) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   Scheduler scheduler(host.fabric(), SchedulerConfig{});
   PerformanceTarget target;
   target.src = host.server().gpus[0];
@@ -55,7 +58,8 @@ TEST(SchedulerTest, RespectsLatencyBound) {
 }
 
 TEST(SchedulerTest, AvoidsReservedLinks) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   Scheduler scheduler(host.fabric(), SchedulerConfig{});
   PerformanceTarget target;
   // Cross-socket: parallel inter-socket links offer alternatives.
@@ -89,7 +93,8 @@ TEST(SchedulerTest, AvoidsReservedLinks) {
 }
 
 TEST(SchedulerTest, NaiveModeIgnoresAlternatives) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   SchedulerConfig config;
   config.topology_aware = false;
   Scheduler naive(host.fabric(), config);
@@ -108,7 +113,8 @@ TEST(SchedulerTest, NaiveModeIgnoresAlternatives) {
 }
 
 TEST(SchedulerTest, HeadroomFractionEnforced) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   SchedulerConfig config;
   config.reservable_fraction = 0.5;
   Scheduler scheduler(host.fabric(), config);

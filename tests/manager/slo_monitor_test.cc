@@ -12,6 +12,7 @@ using sim::Bandwidth;
 using sim::TimeNs;
 
 struct Fixture {
+  std::unique_ptr<sim::Simulation> sim;
   std::unique_ptr<HostNetwork> host;
   Manager* manager = nullptr;
   AllocationId alloc = kInvalidAllocation;
@@ -23,7 +24,8 @@ struct Fixture {
     HostNetwork::Options options;
     options.autostart = HostNetwork::Autostart::kNone;
     options.manager.mode = mode;
-    host = std::make_unique<HostNetwork>(options);
+    sim = std::make_unique<sim::Simulation>();
+    host = std::make_unique<HostNetwork>(*sim, options);
     manager = &host->manager();
     tenant = manager->RegisterTenant("t");
     PerformanceTarget target;
@@ -106,7 +108,8 @@ TEST(SloMonitorTest, FlagsLatencyViolation) {
 TEST(SloMonitorTest, UnattachedAllocationSkipped) {
   HostNetwork::Options options;
   options.autostart = HostNetwork::Autostart::kNone;
-  HostNetwork host(options);
+  sim::Simulation sim;
+  HostNetwork host(sim, options);
   auto& manager = host.manager();
   const auto tenant = manager.RegisterTenant("t");
   PerformanceTarget target;

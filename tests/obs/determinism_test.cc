@@ -20,7 +20,8 @@ std::string TracedRun(uint64_t seed) {
   HostNetwork::Options options;
   options.seed = seed;
   options.trace.enabled = true;
-  HostNetwork host(options);
+  sim::Simulation sim(seed);
+  HostNetwork host(sim, options);
   const auto& server = host.server();
 
   // Exercise every instrumented layer: manager placement + arbitration,

@@ -18,7 +18,8 @@ HostNetwork::Options NoAutoStart() {
 }
 
 TEST(CollectorTest, SamplesPeriodically) {
-  HostNetwork host(NoAutoStart());
+  sim::Simulation sim;
+  HostNetwork host(sim, NoAutoStart());
   Collector::Config config;
   config.period = TimeNs::Millis(1);
   Collector collector(host.fabric(), config);
@@ -31,7 +32,8 @@ TEST(CollectorTest, SamplesPeriodically) {
 }
 
 TEST(CollectorTest, RecordsUtilizationOfActiveLink) {
-  HostNetwork host(NoAutoStart());
+  sim::Simulation sim;
+  HostNetwork host(sim, NoAutoStart());
   const auto& server = host.server();
   Collector::Config config;
   config.period = TimeNs::Millis(1);
@@ -56,7 +58,8 @@ TEST(CollectorTest, RecordsUtilizationOfActiveLink) {
 }
 
 TEST(CollectorTest, ThroughputSeriesIncludesPacketTraffic) {
-  HostNetwork host(NoAutoStart());
+  sim::Simulation sim;
+  HostNetwork host(sim, NoAutoStart());
   const auto& server = host.server();
   Collector::Config config;
   config.period = TimeNs::Millis(1);
@@ -86,7 +89,8 @@ TEST(CollectorTest, ThroughputSeriesIncludesPacketTraffic) {
 }
 
 TEST(CollectorTest, ThroughputMatchesFluidRateForFlows) {
-  HostNetwork host(NoAutoStart());
+  sim::Simulation sim;
+  HostNetwork host(sim, NoAutoStart());
   const auto& server = host.server();
   Collector::Config config;
   config.period = TimeNs::Millis(1);
@@ -108,7 +112,8 @@ TEST(CollectorTest, ThroughputMatchesFluidRateForFlows) {
 }
 
 TEST(CollectorTest, FineModeHasPerTenantSeries) {
-  HostNetwork host(NoAutoStart());
+  sim::Simulation sim;
+  HostNetwork host(sim, NoAutoStart());
   const auto& server = host.server();
   Collector::Config config;
   config.granularity = Granularity::kFine;
@@ -133,7 +138,8 @@ TEST(CollectorTest, FineModeHasPerTenantSeries) {
 }
 
 TEST(CollectorTest, CoarseModeOmitsTenantsAndClampsPeriod) {
-  HostNetwork host(NoAutoStart());
+  sim::Simulation sim;
+  HostNetwork host(sim, NoAutoStart());
   const auto& server = host.server();
   Collector::Config config;
   config.granularity = Granularity::kCoarse;
@@ -159,7 +165,8 @@ TEST(CollectorTest, CoarseModeOmitsTenantsAndClampsPeriod) {
 
 TEST(CollectorTest, FineHasMoreSeriesThanCoarse) {
   auto series_count = [](Granularity g) {
-    HostNetwork host(NoAutoStart());
+    sim::Simulation sim;
+    HostNetwork host(sim, NoAutoStart());
     workload::StreamSource::Config bulk;
     bulk.src = host.server().ssds[0];
     bulk.dst = host.server().dimms[0];
@@ -176,7 +183,8 @@ TEST(CollectorTest, FineHasMoreSeriesThanCoarse) {
 }
 
 TEST(CollectorTest, ReportingInjectsMonitorTraffic) {
-  HostNetwork host(NoAutoStart());
+  sim::Simulation sim;
+  HostNetwork host(sim, NoAutoStart());
   const auto& server = host.server();
   ASSERT_NE(server.monitor_store, topology::kInvalidComponent);
   Collector::Config config;
@@ -196,7 +204,8 @@ TEST(CollectorTest, ReportingInjectsMonitorTraffic) {
 }
 
 TEST(CollectorTest, NoReportingWhenUnset) {
-  HostNetwork host(NoAutoStart());
+  sim::Simulation sim;
+  HostNetwork host(sim, NoAutoStart());
   Collector::Config config;
   Collector collector(host.fabric(), config);
   collector.Start();
@@ -205,7 +214,8 @@ TEST(CollectorTest, NoReportingWhenUnset) {
 }
 
 TEST(CollectorTest, StoragePressureDropsOldPoints) {
-  HostNetwork host(NoAutoStart());
+  sim::Simulation sim;
+  HostNetwork host(sim, NoAutoStart());
   Collector::Config config;
   config.period = TimeNs::Millis(1);
   config.series_capacity = 4;
@@ -228,7 +238,8 @@ TEST(CollectorTest, KeysAreStableSchema) {
 }
 
 TEST(CollectorTest, SeriesLookupMissReturnsNull) {
-  HostNetwork host(NoAutoStart());
+  sim::Simulation sim;
+  HostNetwork host(sim, NoAutoStart());
   Collector collector(host.fabric(), Collector::Config{});
   EXPECT_EQ(collector.Series("nope"), nullptr);
   EXPECT_TRUE(collector.Keys().empty());

@@ -16,7 +16,8 @@ HostNetwork::Options NoAutoStart() {
 }
 
 TEST(ExportTest, WritesHeaderAndRows) {
-  HostNetwork host(NoAutoStart());
+  sim::Simulation sim;
+  HostNetwork host(sim, NoAutoStart());
   Collector::Config config;
   config.period = sim::TimeNs::Millis(1);
   Collector collector(host.fabric(), config);
@@ -43,7 +44,8 @@ TEST(ExportTest, WritesHeaderAndRows) {
 }
 
 TEST(ExportTest, KeyFilterRestrictsOutput) {
-  HostNetwork host(NoAutoStart());
+  sim::Simulation sim;
+  HostNetwork host(sim, NoAutoStart());
   Collector collector(host.fabric(), Collector::Config{});
   collector.SampleOnce();
   const std::string key = Collector::LinkUtilKey(0, true);
@@ -55,7 +57,8 @@ TEST(ExportTest, KeyFilterRestrictsOutput) {
 }
 
 TEST(ExportTest, UnknownKeysSkipped) {
-  HostNetwork host(NoAutoStart());
+  sim::Simulation sim;
+  HostNetwork host(sim, NoAutoStart());
   Collector collector(host.fabric(), Collector::Config{});
   collector.SampleOnce();
   std::ostringstream out;
@@ -63,7 +66,8 @@ TEST(ExportTest, UnknownKeysSkipped) {
 }
 
 TEST(ExportTest, EmptyCollectorWritesHeaderOnly) {
-  HostNetwork host(NoAutoStart());
+  sim::Simulation sim;
+  HostNetwork host(sim, NoAutoStart());
   Collector collector(host.fabric(), Collector::Config{});
   std::ostringstream out;
   EXPECT_EQ(WriteCsv(collector, out), 0u);

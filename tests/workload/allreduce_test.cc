@@ -19,7 +19,8 @@ HostNetwork::Options DgxQuiet() {
 }
 
 TEST(AllReduceTest, CompletesIterations) {
-  HostNetwork host(DgxQuiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, DgxQuiet());
   RingAllReduce::Config config;
   config.gpus = host.server().gpus;
   config.tensor_bytes = 64LL * 1024 * 1024;
@@ -35,7 +36,8 @@ TEST(AllReduceTest, CompletesIterations) {
 }
 
 TEST(AllReduceTest, RequiresAtLeastTwoGpus) {
-  HostNetwork host(DgxQuiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, DgxQuiet());
   RingAllReduce::Config config;
   config.gpus = {host.server().gpus[0]};
   RingAllReduce ar(host.fabric(), config);
@@ -46,7 +48,8 @@ TEST(AllReduceTest, RequiresAtLeastTwoGpus) {
 TEST(AllReduceTest, TwoGpuRingOnSameSwitchIsFast) {
   // gpu0 and gpu1 share one PCIe switch: the ring is 2 hops each way
   // through the switch, at PCIe speed.
-  HostNetwork host(DgxQuiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, DgxQuiet());
   RingAllReduce::Config config;
   config.gpus = {host.server().gpus[0], host.server().gpus[1]};
   config.tensor_bytes = 64LL * 1024 * 1024;
@@ -63,7 +66,8 @@ TEST(AllReduceTest, TwoGpuRingOnSameSwitchIsFast) {
 }
 
 TEST(AllReduceTest, CrossSocketRingIsSlowerThanLocal) {
-  HostNetwork host(DgxQuiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, DgxQuiet());
   const auto& gpus = host.server().gpus;
   RingAllReduce::Config local;
   local.gpus = {gpus[0], gpus[1]};  // Same switch.
@@ -91,7 +95,8 @@ TEST(AllReduceTest, CrossSocketRingIsSlowerThanLocal) {
 }
 
 TEST(AllReduceTest, ContentionSlowsTheRing) {
-  HostNetwork host(DgxQuiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, DgxQuiet());
   RingAllReduce::Config config;
   config.gpus = host.server().gpus;
   config.tensor_bytes = 32LL * 1024 * 1024;
@@ -114,7 +119,8 @@ TEST(AllReduceTest, ContentionSlowsTheRing) {
 }
 
 TEST(AllReduceTest, StopMidIterationCleansUp) {
-  HostNetwork host(DgxQuiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, DgxQuiet());
   RingAllReduce::Config config;
   config.gpus = host.server().gpus;
   config.tensor_bytes = 1LL * 1024 * 1024 * 1024;  // Long steps.

@@ -43,7 +43,8 @@ TEST(TraceTest, ParseErrors) {
 }
 
 TEST(TraceTest, ReplayIssuesAllTransfers) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   TraceReplayer::Config config;
   config.events = SampleTrace();
   TraceReplayer replayer(host.fabric(), config);
@@ -56,7 +57,8 @@ TEST(TraceTest, ReplayIssuesAllTransfers) {
 }
 
 TEST(TraceTest, ReplayRespectsTimestamps) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   TraceReplayer::Config config;
   config.events = {{TimeNs::Millis(5), "ssd0", "s0.mc0.dimm0", 100, 1, false}};
   TraceReplayer replayer(host.fabric(), config);
@@ -68,7 +70,8 @@ TEST(TraceTest, ReplayRespectsTimestamps) {
 }
 
 TEST(TraceTest, TimeScaleStretchesTheSchedule) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   TraceReplayer::Config config;
   config.events = {{TimeNs::Millis(5), "ssd0", "s0.mc0.dimm0", 100, 1, false}};
   config.time_scale = 2.0;
@@ -81,7 +84,8 @@ TEST(TraceTest, TimeScaleStretchesTheSchedule) {
 }
 
 TEST(TraceTest, UnknownComponentsAreSkippedNotFatal) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   TraceReplayer::Config config;
   config.events = {{TimeNs::Millis(1), "nope", "s0", 100, 1, false},
                    {TimeNs::Millis(2), "ssd0", "s0.mc0.dimm0", 100, 1, false}};
@@ -93,7 +97,8 @@ TEST(TraceTest, UnknownComponentsAreSkippedNotFatal) {
 }
 
 TEST(TraceTest, StopCancelsRemainingEvents) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   TraceReplayer::Config config;
   config.events = SampleTrace();
   TraceReplayer replayer(host.fabric(), config);
@@ -105,7 +110,8 @@ TEST(TraceTest, StopCancelsRemainingEvents) {
 }
 
 TEST(TraceTest, DdioFlagCarriesThrough) {
-  HostNetwork host(Quiet());
+  sim::Simulation sim;
+  HostNetwork host(sim, Quiet());
   fabric::FabricConfig tiny_cache;
   tiny_cache.way_bytes = 10 * 1024;
   tiny_cache.ddio_ways = 1;

@@ -19,7 +19,8 @@ HostNetwork::Options QuietOptions() {
 }
 
 TEST(KvClientTest, CompletesOpsAtExpectedUnloadedLatency) {
-  HostNetwork host(QuietOptions());
+  sim::Simulation sim;
+  HostNetwork host(sim, QuietOptions());
   KvClient::Config config;
   config.client = host.server().external_hosts[0];
   config.server = host.server().sockets[0];
@@ -36,7 +37,8 @@ TEST(KvClientTest, CompletesOpsAtExpectedUnloadedLatency) {
 }
 
 TEST(KvClientTest, ConcurrencyScalesThroughput) {
-  HostNetwork host(QuietOptions());
+  sim::Simulation sim;
+  HostNetwork host(sim, QuietOptions());
   KvClient::Config config;
   config.client = host.server().external_hosts[0];
   config.server = host.server().sockets[0];
@@ -52,7 +54,8 @@ TEST(KvClientTest, ConcurrencyScalesThroughput) {
 }
 
 TEST(KvClientTest, CongestionInflatesLatency) {
-  HostNetwork host(QuietOptions());
+  sim::Simulation sim;
+  HostNetwork host(sim, QuietOptions());
   const auto& server = host.server();
   KvClient::Config config;
   config.client = server.external_hosts[0];
@@ -83,7 +86,8 @@ TEST(KvClientTest, CongestionInflatesLatency) {
 }
 
 TEST(KvClientTest, StopHaltsTraffic) {
-  HostNetwork host(QuietOptions());
+  sim::Simulation sim;
+  HostNetwork host(sim, QuietOptions());
   KvClient::Config config;
   config.client = host.server().external_hosts[0];
   config.server = host.server().sockets[0];
@@ -97,7 +101,8 @@ TEST(KvClientTest, StopHaltsTraffic) {
 }
 
 TEST(MlTrainerTest, IterationsCompleteWithExpectedTiming) {
-  HostNetwork host(QuietOptions());
+  sim::Simulation sim;
+  HostNetwork host(sim, QuietOptions());
   const auto& server = host.server();
   MlTrainer::Config config;
   config.data_source = server.dimms[0];
@@ -116,7 +121,8 @@ TEST(MlTrainerTest, IterationsCompleteWithExpectedTiming) {
 }
 
 TEST(MlTrainerTest, GradientPushExtendsIteration) {
-  HostNetwork host(QuietOptions());
+  sim::Simulation sim;
+  HostNetwork host(sim, QuietOptions());
   const auto& server = host.server();
   MlTrainer::Config config;
   config.data_source = server.dimms[0];
@@ -139,7 +145,8 @@ TEST(MlTrainerTest, GradientPushExtendsIteration) {
 }
 
 TEST(StreamSourceTest, AchievesDemandAndStops) {
-  HostNetwork host(QuietOptions());
+  sim::Simulation sim;
+  HostNetwork host(sim, QuietOptions());
   const auto& server = host.server();
   StreamSource::Config config;
   config.src = server.ssds[0];
@@ -155,7 +162,8 @@ TEST(StreamSourceTest, AchievesDemandAndStops) {
 }
 
 TEST(StreamSourceTest, ElasticStreamSaturatesPath) {
-  HostNetwork host(QuietOptions());
+  sim::Simulation sim;
+  HostNetwork host(sim, QuietOptions());
   const auto& server = host.server();
   StreamSource::Config config;
   config.src = server.ssds[0];
@@ -167,7 +175,8 @@ TEST(StreamSourceTest, ElasticStreamSaturatesPath) {
 }
 
 TEST(LoopbackRdmaTest, LoadsPcieBothDirections) {
-  HostNetwork host(QuietOptions());
+  sim::Simulation sim;
+  HostNetwork host(sim, QuietOptions());
   const auto& server = host.server();
   LoopbackRdma::Config config;
   config.nic = server.nics[0];
@@ -186,7 +195,8 @@ TEST(LoopbackRdmaTest, LoadsPcieBothDirections) {
 }
 
 TEST(PoissonSourceTest, ArrivalCountMatchesRate) {
-  HostNetwork host(QuietOptions());
+  sim::Simulation sim;
+  HostNetwork host(sim, QuietOptions());
   const auto& server = host.server();
   PoissonSource::Config config;
   config.src = server.external_hosts[0];
@@ -205,7 +215,8 @@ TEST(PoissonSourceTest, ArrivalCountMatchesRate) {
 
 TEST(PoissonSourceTest, DeterministicAcrossIdenticalRuns) {
   auto run = [] {
-    HostNetwork host(QuietOptions());
+    sim::Simulation sim;
+    HostNetwork host(sim, QuietOptions());
     PoissonSource::Config config;
     config.src = host.server().external_hosts[0];
     config.dst = host.server().sockets[0];
@@ -219,7 +230,8 @@ TEST(PoissonSourceTest, DeterministicAcrossIdenticalRuns) {
 }
 
 TEST(PoissonSourceTest, ParetoSizesVary) {
-  HostNetwork host(QuietOptions());
+  sim::Simulation sim;
+  HostNetwork host(sim, QuietOptions());
   PoissonSource::Config config;
   config.src = host.server().external_hosts[0];
   config.dst = host.server().sockets[0];
@@ -239,7 +251,8 @@ TEST(PoissonSourceTest, ParetoSizesVary) {
 }
 
 TEST(BurstySourceTest, TogglesOnAndOff) {
-  HostNetwork host(QuietOptions());
+  sim::Simulation sim;
+  HostNetwork host(sim, QuietOptions());
   BurstySource::Config config;
   config.src = host.server().ssds[0];
   config.dst = host.server().dimms[0];
@@ -256,7 +269,8 @@ TEST(BurstySourceTest, TogglesOnAndOff) {
 }
 
 TEST(WorkloadBaseTest, StartIsIdempotent) {
-  HostNetwork host(QuietOptions());
+  sim::Simulation sim;
+  HostNetwork host(sim, QuietOptions());
   StreamSource::Config config;
   config.src = host.server().ssds[0];
   config.dst = host.server().dimms[0];

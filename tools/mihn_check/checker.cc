@@ -262,7 +262,7 @@ const BannedToken kBannedTokens[] = {
     {"SolveMaxMin",
      "deprecated one-shot solver; use MaxMinSolver (Begin/AddFlow/Commit, or the retained "
      "SolveDelta path for incremental updates)",
-     {"src/fabric/max_min.h", "src/fabric/max_min.cc"}},
+     {}},  // Fully retired: even the solver sources no longer say the name.
 };
 
 // Deprecated headers, banned as include targets.
@@ -274,9 +274,9 @@ struct BannedInclude {
 
 const BannedInclude kBannedIncludes[] = {
     {"src/diagnose/tools.h",
-     "deprecated free-function probe wrappers; use diagnose::Session "
+     "deleted free-function probe wrappers; use diagnose::Session "
      "(Ping/Trace/Perf/Capture with the common ProbeReport header)",
-     {"src/diagnose/tools.cc", "tests/diagnose/tools_test.cc"}},
+     {}},  // Fully retired: the header was deleted, the ban stops revivals.
 };
 
 void RuleApiDrift(RuleContext& ctx) {
@@ -303,6 +303,121 @@ void RuleApiDrift(RuleContext& ctx) {
         Report(ctx, static_cast<size_t>(inc.line) - 1, "drift-ok", "D8:api-drift",
                "#include \"" + std::string(ban.path) + "\": " + ban.hint);
       }
+    }
+  }
+}
+
+// -- D8 owned clock -----------------------------------------------------------
+//
+// HostNetwork's owning constructors (which allocate a private
+// sim::Simulation) are compatibility wrappers for downstream users; repo
+// code must use the clock-injection constructors so hosts can share one
+// virtual clock (the fleet seam). Lexical heuristic: at every HostNetwork
+// construction expression, the first constructor argument must mention an
+// identifier containing "sim" — `sim`, `simulation()`, `*sim_`,
+// `fleet.simulation()` all qualify; `options`, `Quiet()`, empty argument
+// lists do not. Misclassification degrades to a false finding carrying the
+// clock-ok suppression hint, never a crash.
+
+// Wrapper definition sites, plus the one test that exercises the owning
+// wrappers' equivalence with the injected path.
+bool ExemptFromOwnedClock(const std::string& rel_path) {
+  return IsOneOf(rel_path, {"src/host/host_network.h", "src/host/host_network.cc",
+                            "tests/host/host_network_test.cc"});
+}
+
+bool MentionsSimIdent(const std::vector<Token>& toks, size_t begin, size_t end) {
+  for (size_t i = begin; i < end && i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) {
+      continue;
+    }
+    std::string lower(toks[i].text);
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    if (lower.find("sim") != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// The end (exclusive) of the first constructor argument starting at
+// |begin|: the first top-level ',' or the matching close of |open|.
+size_t FirstArgEnd(const std::vector<Token>& toks, size_t begin, std::string_view open) {
+  const std::string_view close = open == "(" ? ")" : "}";
+  int depth = 0;
+  for (size_t i = begin; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kPunct) {
+      continue;
+    }
+    if (t.text == "(" || t.text == "{" || t.text == "[") {
+      ++depth;
+    } else if (t.text == ")" || t.text == "}" || t.text == "]") {
+      if (depth == 0 && t.text == close) {
+        return i;
+      }
+      --depth;
+    } else if (t.text == "," && depth == 0) {
+      return i;
+    }
+  }
+  return toks.size();
+}
+
+void RuleOwnedClock(RuleContext& ctx) {
+  if (ExemptFromOwnedClock(ctx.rel_path)) {
+    return;
+  }
+  const std::vector<Token>& toks = ctx.ft.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!IsIdent(toks[i], "HostNetwork")) {
+      continue;
+    }
+    // Skip non-construction mentions: class/struct declarations, qualified
+    // names (HostNetwork::Preset), and pure type positions (HostNetwork&,
+    // HostNetwork*, parameter lists).
+    if (i > 0 && (IsIdent(toks[i - 1], "class") || IsIdent(toks[i - 1], "struct"))) {
+      continue;
+    }
+    if (i + 1 >= toks.size()) {
+      continue;
+    }
+    size_t args_begin = 0;
+    std::string_view open;
+    const Token& next = toks[i + 1];
+    if (IsPunct(next, ">") && i + 2 < toks.size() && IsPunct(toks[i + 2], "(")) {
+      // make_unique<HostNetwork>(...) and friends.
+      args_begin = i + 3;
+      open = "(";
+    } else if (next.kind == TokKind::kIdent) {
+      // HostNetwork host(...);  HostNetwork host{...};  HostNetwork host;
+      if (i + 2 >= toks.size()) {
+        continue;
+      }
+      const Token& after_name = toks[i + 2];
+      if (IsPunct(after_name, ";")) {
+        Report(ctx, static_cast<size_t>(toks[i].line) - 1, "clock-ok", "D8:owned-clock",
+               "default-constructed HostNetwork owns a private clock; inject a shared "
+               "sim::Simulation (HostNetwork host(sim)) so hosts can share virtual time");
+        continue;
+      }
+      if (!IsPunct(after_name, "(") && !IsPunct(after_name, "{")) {
+        continue;
+      }
+      args_begin = i + 3;
+      open = after_name.text;
+    } else {
+      continue;
+    }
+    if (args_begin == 0) {
+      continue;
+    }
+    const size_t args_end = FirstArgEnd(toks, args_begin, open);
+    if (args_end == args_begin || !MentionsSimIdent(toks, args_begin, args_end)) {
+      Report(ctx, static_cast<size_t>(toks[i].line) - 1, "clock-ok", "D8:owned-clock",
+             "HostNetwork constructed through an owning (private-clock) constructor; pass "
+             "a caller-owned sim::Simulation as the first argument instead");
     }
   }
 }
@@ -698,6 +813,7 @@ std::vector<Finding> CheckFileText(const std::string& rel_path, const FileText& 
   }
   if (RuleOn(options, "D8")) {
     RuleApiDrift(ctx);
+    RuleOwnedClock(ctx);
   }
   const bool d7 = RuleOn(options, "D7");
   const bool d9 = RuleOn(options, "D9");

@@ -45,10 +45,22 @@
 //                            (unsynchronized) the day the ROADMAP's
 //                            parallel runners land. Suppress: mutable-ok(...)
 //   D8 api-drift             deprecated symbols (SolveMaxMin) and headers
-//                            (src/diagnose/tools.h) are banned outside the
-//                            explicit allowlist of definition sites and
-//                            differential tests, so migrations finish
-//                            instead of fossilizing. Suppress: drift-ok(...)
+//                            (src/diagnose/tools.h) are banned everywhere —
+//                            both migrations are finished, so the allowlists
+//                            are empty and the bans only stop revivals.
+//                            Suppress: drift-ok(...)
+//      owned-clock           HostNetwork must be constructed through the
+//                            clock-injection constructors (first argument a
+//                            caller-owned sim::Simulation — lexically, the
+//                            first constructor argument must mention an
+//                            identifier containing "sim"). The owning
+//                            wrappers that allocate a private clock are for
+//                            downstream users only; sharing one clock is the
+//                            fleet seam. Exempt: the wrapper definition
+//                            sites (src/host/host_network.{h,cc}) and the
+//                            owning-vs-injected equivalence test
+//                            (tests/host/host_network_test.cc). Suppress:
+//                            clock-ok(...)
 //   D9 guarded-by            a class that opts into thread-safety
 //                            annotations (any MIHN_GUARDED_BY/MIHN_REQUIRES
 //                            marker, or a core::Mutex member) must annotate

@@ -1,0 +1,13 @@
+// Fixture: HostNetwork constructed through the owning (private-clock)
+// wrappers instead of the clock-injection constructors D8 requires.
+#include <memory>
+
+namespace fixture {
+
+void Owning() {
+  mihn::HostNetwork plain;                // BAD: default-constructs a private clock.
+  mihn::HostNetwork configured(Quiet());  // BAD: first argument is not a Simulation.
+  auto boxed = std::make_unique<mihn::HostNetwork>(Quiet());  // BAD: same, via make_unique.
+}
+
+}  // namespace fixture

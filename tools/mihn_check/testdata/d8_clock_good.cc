@@ -1,0 +1,17 @@
+// Fixture: clock-injection constructions, type-position mentions, and a
+// justified owning construction under suppression.
+#include <memory>
+
+namespace fixture {
+
+void Injected(mihn::HostNetwork& borrowed, mihn::HostNetwork* spare) {
+  mihn::sim::Simulation sim;
+  mihn::HostNetwork host(sim, Quiet());
+  mihn::HostNetwork braced{sim};
+  auto boxed = std::make_unique<mihn::HostNetwork>(sim, Quiet());
+  using Preset = mihn::HostNetwork::Preset;  // Qualified name, not a construction.
+  // mihn-check: clock-ok(downstream-style owning construction exercised by the self-test)
+  mihn::HostNetwork owning;
+}
+
+}  // namespace fixture
