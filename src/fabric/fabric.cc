@@ -513,6 +513,12 @@ void Fabric::FlushIfDirty() const {
   }
 }
 
+void Fabric::SettleStaged(sim::StagedEvents& staging) {
+  staging_ = &staging;
+  FlushIfDirty();
+  staging_ = nullptr;
+}
+
 void Fabric::SolveRates() {
   // Full re-prime: first solve ever, or enough tombstoned slots accumulated
   // that the retained problem is mostly dead weight. Re-priming compacts
@@ -750,7 +756,15 @@ void Fabric::CheckInvariants() const {
 }
 
 void Fabric::RescheduleCompletion() {
-  completion_event_.Cancel();
+  // Under SettleStaged() the queue operations are recorded, not applied:
+  // the cancel and the schedule land in the buffer in this exact order, so
+  // a serial replay reproduces the direct path's event sequence (and pool
+  // slot reuse) byte-for-byte.
+  if (staging_ != nullptr) {
+    staging_->StageCancel(completion_event_);
+  } else {
+    completion_event_.Cancel();
+  }
   double min_secs = std::numeric_limits<double>::infinity();
   for (const auto& [id, f] : flows_) {
     if (f.bytes_remaining >= 0.0 && f.rate > 0.0) {
@@ -762,8 +776,13 @@ void Fabric::RescheduleCompletion() {
   }
   // +1ns so float accrual definitively crosses the completion threshold.
   const sim::TimeNs delay = sim::TimeNs::FromSecondsF(min_secs) + sim::TimeNs::Nanos(1);
-  completion_event_ =
-      sim_.ScheduleAfter(delay, [this] { OnCompletionEvent(); }, "fabric.completion");
+  if (staging_ != nullptr) {
+    staging_->StageScheduleAfter(
+        delay, [this] { OnCompletionEvent(); }, "fabric.completion", &completion_event_);
+  } else {
+    completion_event_ =
+        sim_.ScheduleAfter(delay, [this] { OnCompletionEvent(); }, "fabric.completion");
+  }
 }
 
 void Fabric::OnCompletionEvent() {

@@ -1,7 +1,6 @@
 #include "src/fleet/fleet.h"
 
 #include <algorithm>
-#include <thread>
 
 #include "src/core/check.h"
 
@@ -30,6 +29,12 @@ Fleet::Fleet(int num_hosts, Options options)
   hosts_.reserve(static_cast<size_t>(num_hosts));
   for (int i = 0; i < num_hosts; ++i) {
     hosts_.push_back(std::make_unique<HostNetwork>(sim_, options_.host));
+  }
+  stagings_.resize(hosts_.size());
+  const int requested =
+      options_.worker_threads > 1 ? options_.worker_threads : options_.aggregation_threads;
+  if (requested > 1) {
+    pool_ = std::make_unique<core::WorkerPool>(requested, options_.clamp_workers_to_hardware);
   }
 }
 
@@ -123,6 +128,10 @@ void Fleet::CoupleCrossHostFlows() {
       hosts_[h]->fabric().SetFlowLimitsBatch(lifts[h]);
     }
   }
+  // Settle the lifted fabrics across the pool before reading rates — a
+  // FlowRate() read on a dirty fabric would otherwise solve serially on
+  // this thread, one host at a time.
+  SettleHosts();
   // Each stage's achievable intra-host rate bounds the inter-host demand;
   // the shared inter-host solve then yields the end-to-end rate.
   for (auto& [id, flow] : cross_flows_) {
@@ -149,10 +158,29 @@ void Fleet::CoupleCrossHostFlows() {
   }
 }
 
+void Fleet::ForEachHost(const std::function<void(size_t, size_t)>& body) {
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(hosts_.size(), body);
+  } else {
+    body(0, hosts_.size());
+  }
+}
+
 void Fleet::SettleHosts() {
-  for (const std::unique_ptr<HostNetwork>& h : hosts_) {
-    // Any rate read is a flush point; link 0 always exists.
-    h->fabric().Utilization(topology::DirectedLink{0, true});
+  // Fan the solves out: each fabric settles into its own staging buffer, so
+  // no worker ever touches the shared calendar queue. The solve reads the
+  // clock but never advances it.
+  ForEachHost([this](size_t begin, size_t end) {
+    for (size_t h = begin; h < end; ++h) {
+      hosts_[h]->fabric().SettleStaged(stagings_[h]);
+    }
+  });
+  // Replay the buffered queue operations serially in strict host order:
+  // cancel-then-schedule per host is the exact interleaving the serial
+  // direct path produces, so event sequence numbers — and event-pool slot
+  // reuse — are byte-identical to a serial run.
+  for (sim::StagedEvents& staging : stagings_) {
+    staging.ApplyTo(sim_);
   }
 }
 
@@ -184,34 +212,17 @@ FleetSample Fleet::AggregateSample() {
   FleetSample sample;
   sample.at = sim_.Now();
   sample.hosts.resize(hosts_.size());
-  const auto reduce_range = [this, &sample](size_t begin, size_t end) {
+  // Every fabric was settled in SettleHosts(), so the per-host reduction is
+  // pure host-local reads + counter accrual: embarrassingly parallel on the
+  // persistent pool, with each worker writing a disjoint slice of
+  // sample.hosts.
+  ForEachHost([this, &sample](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) {
       sample.hosts[i] = ReduceHost(static_cast<int>(i));
     }
-  };
-  // Every fabric was settled in SettleHosts(), so the per-host reduction is
-  // pure host-local reads + counter accrual: embarrassingly parallel, with
-  // each thread writing a disjoint slice of sample.hosts.
-  const size_t n = hosts_.size();
-  const size_t threads =
-      std::min<size_t>(options_.aggregation_threads > 1
-                           ? static_cast<size_t>(options_.aggregation_threads)
-                           : 1,
-                       n);
-  if (threads > 1) {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (size_t t = 0; t < threads; ++t) {
-      pool.emplace_back(reduce_range, n * t / threads, n * (t + 1) / threads);
-    }
-    for (std::thread& t : pool) {
-      t.join();
-    }
-  } else {
-    reduce_range(0, n);
-  }
+  });
   // Merge strictly in host order: the fleet totals (and the digest built
-  // over them) never depend on which thread finished first.
+  // over them) never depend on which worker finished first.
   for (const HostSample& h : sample.hosts) {
     sample.total_bytes += h.bytes_total;
     sample.total_rate_bps += h.rate_total_bps;
@@ -231,6 +242,11 @@ FleetSample Fleet::AggregateSample() {
 }
 
 const FleetSample& Fleet::Tick() {
+  // Settle mutations made since the last tick (placements, demand changes)
+  // in parallel *before* entering the event loop — otherwise the engine's
+  // pre-advance hook would flush each dirty fabric serially, one at a time,
+  // on this thread.
+  SettleHosts();
   sim_.RunFor(options_.tick_period);
   CoupleCrossHostFlows();
   SettleHosts();
@@ -266,11 +282,22 @@ void Fleet::EnableHeartbeats(anomaly::HeartbeatMesh::Config config) {
 }
 
 FleetRootCause Fleet::RootCauseView() {
+  // Settle first so the parallel analyzers below only read settled state —
+  // an analyzer on a dirty fabric would trigger a solve, and a staged-free
+  // solve schedules on the shared clock.
+  SettleHosts();
+  std::vector<std::vector<anomaly::CongestionReport>> per_host(hosts_.size());
+  ForEachHost([this, &per_host](size_t begin, size_t end) {
+    for (size_t h = begin; h < end; ++h) {
+      anomaly::RootCauseAnalyzer analyzer(hosts_[h]->fabric(), options_.congestion_threshold);
+      per_host[h] = analyzer.FindCongestedLinks();
+    }
+  });
+  // Merge the root-cause inputs strictly in host order.
   FleetRootCause view;
   std::map<fabric::TenantId, FleetSuspect> suspects;
   for (int i = 0; i < host_count(); ++i) {
-    anomaly::RootCauseAnalyzer analyzer(host(i).fabric(), options_.congestion_threshold);
-    std::vector<anomaly::CongestionReport> reports = analyzer.FindCongestedLinks();
+    std::vector<anomaly::CongestionReport>& reports = per_host[static_cast<size_t>(i)];
     if (reports.empty()) {
       continue;
     }

@@ -16,26 +16,32 @@
 //   auto view = fleet.RootCauseView();
 //
 // Determinism contract: a fleet run is a pure function of (host count,
-// options, placement calls). Host fabrics are settled in host order — the
-// settle pass is where fabric solves may schedule completion events on the
-// shared clock, so its order *is* the event insertion order — and the
-// per-host telemetry reduction (snapshot + rollup, the bulk of tick cost
-// at fleet scale) fans out across Options::aggregation_threads and is
-// merged back strictly in host order. Digests are therefore byte-identical
-// across runs, thread counts, and cross-host placement order.
+// options, placement calls). The tick's per-host work — fabric settle,
+// telemetry reduction, root-cause scan — fans out over a persistent
+// core::WorkerPool (Options::worker_threads) in contiguous host-order
+// chunks. Each fabric settles into its own sim::StagedEvents buffer
+// instead of scheduling on the shared clock; the buffers are then applied
+// serially in strict host order, so the calendar queue sees the exact
+// event sequence a serial pass produces. All merges (telemetry samples,
+// root-cause inputs) are likewise in strict host order. Digests are
+// therefore byte-identical across runs, worker counts (including 0/1 =
+// serial), and cross-host placement order.
 
 #ifndef MIHN_SRC_FLEET_FLEET_H_
 #define MIHN_SRC_FLEET_FLEET_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
 
 #include "src/anomaly/heartbeat.h"
 #include "src/anomaly/root_cause.h"
+#include "src/core/worker_pool.h"
 #include "src/fleet/inter_host.h"
 #include "src/fleet/report.h"
 #include "src/host/host_network.h"
+#include "src/sim/staged_events.h"
 
 namespace mihn::fleet {
 
@@ -104,9 +110,21 @@ class Fleet {
     // seeds the one shared clock); Options::trace must stay disabled (a
     // Simulation has a single observer slot).
     HostNetwork::Options host = DefaultHostOptions();
-    // Threads for the per-host telemetry reduction. <= 1 runs serially;
-    // results are byte-identical either way (merge is in host order).
+    // Worker parallelism for the whole tick: parallel fabric settle (via
+    // the staged-events seam), per-host telemetry reduction, and the
+    // root-cause scan all share one persistent core::WorkerPool. <= 1 runs
+    // serially; digests are byte-identical across any value (per-host
+    // results merge in strict host order). Takes precedence over
+    // aggregation_threads when both are set.
+    int worker_threads = 0;
+    // Pre-worker-pool name for the same knob: sizes the shared pool when
+    // worker_threads is unset. Kept so existing callers keep their speedup.
     int aggregation_threads = 0;
+    // Cap the pool at std::thread::hardware_concurrency(). Oversubscribing
+    // the tick's compute-bound chunks only adds context switches; tests
+    // disable the clamp to force real cross-thread execution even on small
+    // machines. Never affects results, only scheduling.
+    bool clamp_workers_to_hardware = true;
     // Directed-link utilization at/above this counts as congested, in both
     // per-host rollups and RootCauseView().
     double congestion_threshold = 0.9;
@@ -126,6 +144,8 @@ class Fleet {
   sim::Simulation& simulation() { return sim_; }
   sim::TimeNs Now() const { return sim_.Now(); }
   const Options& options() const { return options_; }
+  // Actual pool width after the hardware clamp; 1 means serial.
+  int worker_parallelism() const { return pool_ != nullptr ? pool_->parallelism() : 1; }
 
   // -- Cross-host placement ----------------------------------------------------
   // Starts the three coupled stages. The end-to-end rate settles over the
@@ -137,9 +157,9 @@ class Fleet {
   int cross_host_flow_count() const { return static_cast<int>(cross_flows_.size()); }
 
   // -- Time --------------------------------------------------------------------
-  // One fleet tick: advance the shared clock by tick_period, re-couple
-  // cross-host flows, settle every fabric in host order, aggregate one
-  // FleetSample. Returns the new sample.
+  // One fleet tick: settle pending mutations (in parallel, staged), advance
+  // the shared clock by tick_period, re-couple cross-host flows, settle
+  // again, aggregate one FleetSample. Returns the new sample.
   const FleetSample& Tick();
   void Run(int ticks);
 
@@ -172,9 +192,15 @@ class Fleet {
   };
 
   void CoupleCrossHostFlows();
-  // Forces every fabric's pending solve, in host order (event scheduling
-  // happens here, deterministically).
+  // Forces every fabric's pending solve: solves fan out across the worker
+  // pool into per-host staging buffers, then the buffers are applied to the
+  // shared clock serially in strict host order — the exact event sequence
+  // (and event-pool slot reuse) of a serial pass.
   void SettleHosts();
+  // Runs body(begin, end) over contiguous host-order chunks of [0, N) on
+  // the pool, or inline when the fleet is serial. |body| must be parallel-
+  // safe on disjoint host ranges.
+  void ForEachHost(const std::function<void(size_t, size_t)>& body);
   FleetSample AggregateSample();
   HostSample ReduceHost(int i);
 
@@ -188,6 +214,12 @@ class Fleet {
   std::map<CrossFlowId, CrossFlow> cross_flows_;  // Ordered: deterministic coupling.
   CrossFlowId next_cross_id_ = 1;
   std::vector<FleetSample> samples_;
+  // Null when the fleet is serial (effective worker_threads <= 1). Worker
+  // threads only ever run inside ForEachHost rounds, so the pool needs no
+  // particular destruction order relative to sim_/hosts_.
+  std::unique_ptr<core::WorkerPool> pool_;
+  // One staging buffer per host, reused every settle pass.
+  std::vector<sim::StagedEvents> stagings_;
 };
 
 }  // namespace mihn::fleet

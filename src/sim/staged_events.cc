@@ -1,0 +1,41 @@
+#include "src/sim/staged_events.h"
+
+#include <utility>
+
+#include "src/sim/simulation.h"
+
+namespace mihn::sim {
+
+void StagedEvents::StageCancel(EventHandle handle) {
+  Op op;
+  op.is_schedule = false;
+  op.cancel = handle;
+  ops_.push_back(std::move(op));
+}
+
+void StagedEvents::StageScheduleAfter(TimeNs delay, EventFn fn, const char* label,
+                                      EventHandle* out) {
+  Op op;
+  op.is_schedule = true;
+  op.delay = delay;
+  op.fn = std::move(fn);
+  op.label = label;
+  op.out = out;
+  ops_.push_back(std::move(op));
+}
+
+void StagedEvents::ApplyTo(Simulation& sim) {
+  for (Op& op : ops_) {
+    if (op.is_schedule) {
+      EventHandle handle = sim.ScheduleAfter(op.delay, std::move(op.fn), op.label);
+      if (op.out != nullptr) {
+        *op.out = handle;
+      }
+    } else {
+      op.cancel.Cancel();
+    }
+  }
+  ops_.clear();
+}
+
+}  // namespace mihn::sim

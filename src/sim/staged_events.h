@@ -1,0 +1,80 @@
+// A buffer of deferred event-queue operations, for settling many components
+// that share one Simulation from worker threads.
+//
+// The engine is single-threaded by design: Simulation's calendar queue must
+// only ever be touched from one thread at a time, and *insertion order* is
+// part of the determinism contract (ties at one timestamp fire in sequence
+// order). A parallel settle pass — e.g. the fleet solving 4096 host fabrics
+// concurrently — would violate both if each solve scheduled its completion
+// event directly.
+//
+// StagedEvents is the seam: each worker gives the component it settles a
+// private buffer, the solve records its cancel/schedule operations there
+// instead of applying them, and the coordinator replays the buffers
+// serially afterwards in a fixed order (the fleet uses strict host order).
+// ApplyTo() preserves the staged operation order exactly — cancel then
+// schedule per component, just as the direct path interleaves them — so
+// the calendar queue sees the same (time, sequence) pairs and the event
+// pool reuses the same slots as a fully serial run: byte-identical.
+//
+// The staging buffer is an explicit, caller-owned object (no thread-local
+// or hidden global per D7); the sim stays a leaf. Delays are resolved
+// against Now() at ApplyTo() time, so apply buffers before advancing the
+// clock past the settle timestamp.
+
+#ifndef MIHN_SRC_SIM_STAGED_EVENTS_H_
+#define MIHN_SRC_SIM_STAGED_EVENTS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/sim/event_pool.h"
+#include "src/sim/inline_fn.h"
+#include "src/sim/time.h"
+
+namespace mihn::sim {
+
+class Simulation;
+
+class StagedEvents {
+ public:
+  StagedEvents() = default;
+  StagedEvents(StagedEvents&&) = default;
+  StagedEvents& operator=(StagedEvents&&) = default;
+  StagedEvents(const StagedEvents&) = delete;
+  StagedEvents& operator=(const StagedEvents&) = delete;
+
+  // Records a cancellation of |handle| (captured by value; cancelling a
+  // null or already-cancelled handle is a no-op, as with EventHandle).
+  void StageCancel(EventHandle handle);
+
+  // Records a ScheduleAfter(delay, fn, label). If |out| is non-null, the
+  // handle of the event is written there when the buffer is applied.
+  // |label| must outlive the simulation (static string literal or null),
+  // exactly as with Simulation::ScheduleAfter.
+  void StageScheduleAfter(TimeNs delay, EventFn fn, const char* label, EventHandle* out);
+
+  // Replays the staged operations against |sim| in staging order, then
+  // clears the buffer. Must run on the thread that owns |sim| (the fleet's
+  // coordinator), with no intervening clock advance since staging.
+  void ApplyTo(Simulation& sim);
+
+  bool empty() const { return ops_.empty(); }
+  size_t size() const { return ops_.size(); }
+  void Clear() { ops_.clear(); }
+
+ private:
+  struct Op {
+    bool is_schedule = false;
+    EventHandle cancel;  // is_schedule == false.
+    TimeNs delay;        // The rest: is_schedule == true.
+    EventFn fn;
+    const char* label = nullptr;
+    EventHandle* out = nullptr;
+  };
+  std::vector<Op> ops_;
+};
+
+}  // namespace mihn::sim
+
+#endif  // MIHN_SRC_SIM_STAGED_EVENTS_H_

@@ -3,8 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>  // For the wall-clock speedup gate only; sim time stays virtual.
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/fleet/inter_host.h"
@@ -140,11 +144,154 @@ TEST(FleetTest, DigestIndependentOfPlacementOrder) {
 }
 
 TEST(FleetTest, DigestIndependentOfAggregationThreads) {
+  // The pre-worker-pool knob still sizes the shared pool.
   Fleet::Options serial;
   serial.aggregation_threads = 0;
   Fleet::Options threaded;
   threaded.aggregation_threads = 4;
+  threaded.clamp_workers_to_hardware = false;  // Real threads even on 1 core.
   EXPECT_EQ(RunGate(64, 3, serial, false), RunGate(64, 3, threaded, false));
+}
+
+// The tentpole gate: the parallel settle + reduction must be invisible in
+// the telemetry. Byte-identical digests across worker counts, including
+// 0/1 (serial, no pool) and widths beyond the machine's core count.
+TEST(FleetTest, DigestIndependentOfWorkerCount256Hosts) {
+  std::string baseline_report;
+  Fleet::Options serial;
+  serial.worker_threads = 0;
+  const uint64_t baseline = RunGate(256, 3, serial, false, &baseline_report);
+  EXPECT_NE(baseline, 0xcbf29ce484222325ull);  // Not the empty-history digest.
+  for (const int workers : {1, 2, 8}) {
+    Fleet::Options options;
+    options.worker_threads = workers;
+    options.clamp_workers_to_hardware = false;  // Real threads even on 1 core.
+    std::string report;
+    EXPECT_EQ(RunGate(256, 3, options, false, &report), baseline) << workers << " workers";
+    EXPECT_EQ(report, baseline_report) << workers << " workers";
+  }
+}
+
+TEST(FleetTest, WorkerParallelismReflectsOptionsAndClamp) {
+  Fleet serial(2);
+  EXPECT_EQ(serial.worker_parallelism(), 1);
+
+  Fleet::Options unclamped;
+  unclamped.worker_threads = 8;
+  unclamped.clamp_workers_to_hardware = false;
+  Fleet wide(2, unclamped);
+  EXPECT_EQ(wide.worker_parallelism(), 8);
+
+  Fleet::Options clamped;
+  clamped.worker_threads = 1 << 20;  // Absurd: must clamp to the machine.
+  Fleet sane(2, clamped);
+  const unsigned hw = std::thread::hardware_concurrency();
+  EXPECT_LE(sane.worker_parallelism(), static_cast<int>(hw == 0 ? 1u : hw));
+  EXPECT_GE(sane.worker_parallelism(), 1);
+}
+
+// Finite transfers are the one settle output that touches the shared clock
+// (completion events). Cross-worker staging must reproduce the serial
+// event sequence exactly: same completion times, same digests.
+TEST(FleetTest, ParallelSettleWithFiniteTransfersMatchesSerial) {
+  struct Outcome {
+    uint64_t digest = 0;
+    std::vector<std::pair<int, int64_t>> completions;  // (host, end ns).
+  };
+  const auto run = [](int workers) {
+    Fleet::Options options;
+    options.worker_threads = workers;
+    options.clamp_workers_to_hardware = false;
+    Fleet fleet(8, options);
+    Outcome out;
+    for (int h = 0; h < fleet.host_count(); ++h) {
+      // A transfer sized to finish mid-run, re-solved every tick by the
+      // cross-host coupling churn on the same host.
+      fabric::TransferSpec transfer;
+      transfer.flow.path = *fleet.host(h).fabric().Route(fleet.host(h).server().ssds[0],
+                                                         fleet.host(h).server().dimms[0]);
+      transfer.flow.tenant = 2;
+      transfer.flow.demand = Bandwidth::Gbps(50);
+      transfer.bytes = 4 * 1000 * 1000 * (h + 1);  // Staggered completions.
+      transfer.on_complete = [&out, h](const fabric::TransferResult& result) {
+        out.completions.emplace_back(h, result.end.nanos());
+      };
+      fleet.host(h).fabric().StartTransfer(std::move(transfer));
+    }
+    for (int h = 0; h + 1 < fleet.host_count(); h += 2) {
+      CrossHostFlowSpec cross;
+      cross.tenant = 5;
+      cross.src_host = h;
+      cross.dst_host = h + 1;
+      fleet.StartCrossHostFlow(cross);
+    }
+    fleet.Run(4);
+    out.digest = fleet.TelemetryDigest();
+    return out;
+  };
+  const Outcome serial = run(0);
+  ASSERT_FALSE(serial.completions.empty());  // The gate must exercise completions.
+  for (const int workers : {2, 8}) {
+    const Outcome pooled = run(workers);
+    EXPECT_EQ(pooled.digest, serial.digest) << workers << " workers";
+    EXPECT_EQ(pooled.completions, serial.completions) << workers << " workers";
+  }
+}
+
+// The perf acceptance gate: at 1024 hosts a pooled tick must beat serial
+// ≥ 3× on machines with real parallelism to spare (≥ 6 cores; ≥ 1.8× on
+// 4–5 cores where 3× is not attainable after the serial fraction). Skipped
+// under sanitizers (instrumentation skews scheduling) and on < 4 cores,
+// where the pool clamps toward serial and there is nothing to measure.
+TEST(FleetTest, PooledTickSpeedupGate1024Hosts) {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  GTEST_SKIP() << "sanitizer build: wall-clock gate not meaningful";
+#endif
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+  GTEST_SKIP() << "sanitizer build: wall-clock gate not meaningful";
+#endif
+#endif
+#ifdef MIHN_ENABLE_INVARIANT_CHECKS
+  GTEST_SKIP() << "invariant-check build: wall-clock gate not meaningful";
+#endif
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw < 4) {
+    GTEST_SKIP() << "only " << hw << " cores: no parallel speedup to measure";
+  }
+  const double required = hw >= 6 ? 3.0 : 1.8;
+
+  constexpr int kHosts = 1024;
+  constexpr int kTicks = 5;
+  const auto time_run = [](Fleet::Options options) {
+    Fleet fleet(kHosts, options);
+    for (const CrossHostFlowSpec& spec : GateWorkload(kHosts)) {
+      fleet.StartCrossHostFlow(spec);
+    }
+    fleet.Tick();  // Warm-up: first solves, pool spin-up, page faults.
+    // mihn-check: nondet-ok(wall-clock speedup gate; never enters sim state)
+    const auto start = std::chrono::steady_clock::now();
+    fleet.Run(kTicks);
+    // mihn-check: nondet-ok(wall-clock speedup gate; never enters sim state)
+    const auto stop = std::chrono::steady_clock::now();
+    const double elapsed =
+        // mihn-check: nondet-ok(wall-clock speedup gate; never enters sim state)
+        std::chrono::duration<double>(stop - start).count();
+    return std::pair<double, uint64_t>(elapsed, fleet.TelemetryDigest());
+  };
+
+  Fleet::Options serial;
+  serial.worker_threads = 0;
+  Fleet::Options pooled;
+  pooled.worker_threads = static_cast<int>(hw);
+  const auto [serial_secs, serial_digest] = time_run(serial);
+  const auto [pooled_secs, pooled_digest] = time_run(pooled);
+  ASSERT_EQ(pooled_digest, serial_digest);  // Speed must not buy divergence.
+  ASSERT_GT(pooled_secs, 0.0);
+  const double speedup = serial_secs / pooled_secs;
+  EXPECT_GE(speedup, required) << "serial " << serial_secs << "s vs pooled " << pooled_secs
+                               << "s on " << hw << " cores";
 }
 
 TEST(FleetTest, TickAdvancesSharedClockAndSamples) {

@@ -1,0 +1,142 @@
+#include "src/sim/staged_events.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/simulation.h"
+#include "src/sim/time.h"
+
+namespace mihn::sim {
+namespace {
+
+// One recorded firing: (virtual time in ns, event id).
+using Firing = std::pair<int64_t, int>;
+
+// The contract the fleet's parallel settle rests on: a script of queue
+// operations staged into buffers and replayed serially produces the exact
+// event sequence — firing order, sequence-number tie-breaks, pool slot
+// reuse — of the same script applied directly.
+TEST(StagedEventsTest, StagedThenAppliedMatchesDirectSchedulingBitForBit) {
+  Simulation direct(7);
+  Simulation staged(7);
+  std::vector<Firing> direct_log;
+  std::vector<Firing> staged_log;
+
+  const auto record = [](std::vector<Firing>* log, Simulation* sim, int id) {
+    return [log, sim, id] { log->emplace_back(sim->Now().nanos(), id); };
+  };
+
+  // A script with same-timestamp ties (ids 1 and 2 both at 10ns) so the
+  // insertion-order tie-break is actually exercised, plus a cancellation.
+  // Direct path: apply in script order.
+  EventHandle direct_doomed;
+  direct.ScheduleAfter(TimeNs::Nanos(10), record(&direct_log, &direct, 1), "a");
+  direct_doomed = direct.ScheduleAfter(TimeNs::Nanos(20), record(&direct_log, &direct, 9), "d");
+  direct.ScheduleAfter(TimeNs::Nanos(10), record(&direct_log, &direct, 2), "b");
+  direct_doomed.Cancel();
+  direct.ScheduleAfter(TimeNs::Nanos(30), record(&direct_log, &direct, 3), "c");
+
+  // Staged path: the same script, recorded into two buffers (as two
+  // parallel workers would) and replayed in the same order.
+  StagedEvents buf_a;
+  StagedEvents buf_b;
+  EventHandle staged_doomed;
+  buf_a.StageScheduleAfter(TimeNs::Nanos(10), record(&staged_log, &staged, 1), "a", nullptr);
+  buf_a.StageScheduleAfter(TimeNs::Nanos(20), record(&staged_log, &staged, 9), "d",
+                           &staged_doomed);
+  buf_b.StageScheduleAfter(TimeNs::Nanos(10), record(&staged_log, &staged, 2), "b", nullptr);
+  EXPECT_EQ(buf_a.size(), 2u);
+  buf_a.ApplyTo(staged);
+  // The out-handle is only valid once its buffer is applied; cancel it via
+  // a staged cancel in the second buffer, like a later host would.
+  buf_b.StageCancel(staged_doomed);
+  buf_b.StageScheduleAfter(TimeNs::Nanos(30), record(&staged_log, &staged, 3), "c", nullptr);
+  buf_b.ApplyTo(staged);
+  EXPECT_TRUE(buf_a.empty());
+  EXPECT_TRUE(buf_b.empty());
+
+  direct.Run();
+  staged.Run();
+
+  EXPECT_EQ(staged_log, direct_log);
+  const std::vector<Firing> expected = {{10, 1}, {10, 2}, {30, 3}};
+  EXPECT_EQ(direct_log, expected);
+  EXPECT_EQ(staged.events_executed(), direct.events_executed());
+  EXPECT_EQ(staged.pending_events(), direct.pending_events());
+  // Slot reuse parity: the cancelled event's slot is reclaimed identically.
+  EXPECT_EQ(staged.event_pool_capacity(), direct.event_pool_capacity());
+}
+
+TEST(StagedEventsTest, CancelThenScheduleOrderIsPreserved) {
+  // The fabric's settle stages cancel-then-schedule per host; the replay
+  // must keep that order so the cancelled slot is reused by the new event
+  // exactly as the direct path would (LIFO free list).
+  Simulation direct(1);
+  Simulation staged(1);
+
+  EventHandle direct_old = direct.ScheduleAfter(TimeNs::Nanos(50), [] {}, "old");
+  direct_old.Cancel();
+  direct.ScheduleAfter(TimeNs::Nanos(60), [] {}, "new");
+
+  EventHandle staged_old = staged.ScheduleAfter(TimeNs::Nanos(50), [] {}, "old");
+  StagedEvents buf;
+  EventHandle staged_new;
+  buf.StageCancel(staged_old);
+  buf.StageScheduleAfter(TimeNs::Nanos(60), [] {}, "new", &staged_new);
+  buf.ApplyTo(staged);
+
+  EXPECT_EQ(staged.pending_events(), direct.pending_events());
+  EXPECT_EQ(staged.event_pool_capacity(), direct.event_pool_capacity());
+  EXPECT_EQ(staged.Run().nanos(), direct.Run().nanos());
+}
+
+TEST(StagedEventsTest, OutHandleCancelsTheAppliedEvent) {
+  Simulation sim(1);
+  int fired = 0;
+  StagedEvents buf;
+  EventHandle handle;
+  buf.StageScheduleAfter(TimeNs::Nanos(5), [&fired] { ++fired; }, "x", &handle);
+  buf.ApplyTo(sim);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  handle.Cancel();
+  sim.Run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(StagedEventsTest, CancellingNullHandleIsANoop) {
+  Simulation sim(1);
+  StagedEvents buf;
+  buf.StageCancel(EventHandle());
+  buf.ApplyTo(sim);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(StagedEventsTest, BufferIsReusableAfterApply) {
+  Simulation sim(1);
+  int fired = 0;
+  StagedEvents buf;
+  for (int round = 0; round < 3; ++round) {
+    buf.StageScheduleAfter(TimeNs::Nanos(1), [&fired] { ++fired; }, "r", nullptr);
+    buf.ApplyTo(sim);
+    EXPECT_TRUE(buf.empty());
+    sim.RunFor(TimeNs::Nanos(2));
+  }
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(StagedEventsTest, ClearDropsStagedOpsWithoutApplying) {
+  Simulation sim(1);
+  StagedEvents buf;
+  buf.StageScheduleAfter(TimeNs::Nanos(5), [] {}, "x", nullptr);
+  EXPECT_EQ(buf.size(), 1u);
+  buf.Clear();
+  EXPECT_TRUE(buf.empty());
+  buf.ApplyTo(sim);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+}  // namespace
+}  // namespace mihn::sim

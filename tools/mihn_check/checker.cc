@@ -628,7 +628,10 @@ SegmentInfo AnalyzeDecl(const std::vector<Token>& toks, size_t b, size_t e) {
       info.has_const = true;
     } else if (x == "static" || x == "thread_local") {
       info.has_static = true;
-    } else if (x == "Mutex" || x == "MutexLock") {
+    } else if (x == "Mutex" || x == "MutexLock" || x == "SyncMutex" || x == "SyncMutexLock" ||
+               x == "mutex") {
+      // Lock objects are the capability itself, never guarded state. "mutex"
+      // covers the std::mutex a real lock (core::SyncMutex) wraps.
       info.is_mutex = true;
     } else if (x == "atomic") {
       info.is_atomic = true;

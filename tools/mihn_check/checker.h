@@ -63,11 +63,12 @@
 //                            clock-ok(...)
 //   D9 guarded-by            a class that opts into thread-safety
 //                            annotations (any MIHN_GUARDED_BY/MIHN_REQUIRES
-//                            marker, or a core::Mutex member) must annotate
-//                            every mutable data member with
-//                            MIHN_GUARDED_BY(...). const, static and
-//                            std::atomic members are exempt. Suppress:
-//                            guarded-ok(...)
+//                            marker, or a core::Mutex / core::SyncMutex
+//                            member) must annotate every mutable data member
+//                            with MIHN_GUARDED_BY(...). const, static,
+//                            std::atomic and lock members (Mutex, SyncMutex,
+//                            std::mutex — the capability itself) are exempt.
+//                            Suppress: guarded-ok(...)
 //
 // A suppression annotation must sit on the offending line or on an
 // immediately preceding comment-only line, and must carry a reason in

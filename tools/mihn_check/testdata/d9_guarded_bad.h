@@ -26,6 +26,13 @@ class Ring {
   const int capacity_ = 8;  // OK: const.
 };
 
+// A real-lock monitor (core::SyncMutex) opts in exactly like the no-op one.
+class Pool {
+ private:
+  mihn::core::SyncMutex mu_;  // OK: the capability itself.
+  int pending_ = 0;           // BAD: no MIHN_GUARDED_BY.
+};
+
 }  // namespace fixture
 
 #endif  // MIHN_D9_GUARDED_BAD_H_

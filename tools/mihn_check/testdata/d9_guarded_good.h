@@ -5,10 +5,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "src/core/mutex.h"
 #include "src/core/thread_annotations.h"
+#include "src/core/worker_pool.h"
 
 namespace fixture {
 
@@ -29,6 +31,21 @@ class Ring {
   static constexpr int kShards = 4;  // OK: constexpr.
   // mihn-check: guarded-ok(reader-owned scratch, never shared across threads)
   std::vector<int> scratch_;
+};
+
+// A real-lock monitor: SyncMutex (and the std::mutex it wraps) is the
+// capability itself, exempt like core::Mutex; guarded state still annotates.
+class Pool {
+ public:
+  void Bump() MIHN_EXCLUDES(mu_) {
+    mihn::core::SyncMutexLock lock(&mu_);
+    ++rounds_;
+  }
+
+ private:
+  mihn::core::SyncMutex mu_;
+  std::mutex raw_mu_;  // OK: a lock, not guarded state.
+  uint64_t rounds_ MIHN_GUARDED_BY(mu_) = 0;
 };
 
 // No mutex, no annotations: D9 does not apply.
