@@ -64,6 +64,31 @@ std::set<std::string> FlaggedKnobs(const anomaly::MisconfigChecker& checker) {
 
 }  // namespace
 
+std::string_view RecoveryPolicyName(RecoveryPolicy policy) {
+  switch (policy) {
+    case RecoveryPolicy::kRepair:
+      return "repair";
+    case RecoveryPolicy::kRerouteOnly:
+      return "reroute_only";
+    case RecoveryPolicy::kRestartOnly:
+      return "restart_only";
+    case RecoveryPolicy::kNone:
+      return "none";
+  }
+  return "unknown";
+}
+
+std::optional<RecoveryPolicy> ParseRecoveryPolicy(std::string_view name) {
+  for (const RecoveryPolicy policy :
+       {RecoveryPolicy::kRepair, RecoveryPolicy::kRerouteOnly,
+        RecoveryPolicy::kRestartOnly, RecoveryPolicy::kNone}) {
+    if (name == RecoveryPolicyName(policy)) {
+      return policy;
+    }
+  }
+  return std::nullopt;
+}
+
 std::string_view PresetName(HostNetwork::Preset preset) {
   switch (preset) {
     case HostNetwork::Preset::kCommodityTwoSocket:
@@ -79,30 +104,64 @@ std::string_view PresetName(HostNetwork::Preset preset) {
 Campaign::Campaign(CampaignConfig config) : config_(std::move(config)) {}
 
 CampaignResult Campaign::Run() {
+  std::vector<TrialRun> runs;
+  runs.reserve(static_cast<size_t>(config_.trials));
+  for (int trial = 0; trial < config_.trials; ++trial) {
+    runs.push_back(RunTrial(trial));
+    if (!runs.back().error.empty()) {
+      break;  // Assemble truncates here; later trials would be discarded.
+    }
+  }
+  return Assemble(std::move(runs));
+}
+
+CampaignResult Campaign::Run(TrialExecutor& executor) {
+  return Assemble(executor.Map(
+      static_cast<size_t>(config_.trials < 0 ? 0 : config_.trials),
+      [this](size_t trial) { return RunTrial(static_cast<int>(trial)); }));
+}
+
+TrialRun Campaign::RunTrial(int trial) const {
+  // Trial seeds derive from base_seed the same way on every path (serial,
+  // pooled, sweep), so a trial's entire execution is a pure function of
+  // (config, trial index).
+  const uint64_t seed =
+      sim::Rng(config_.base_seed).Fork(static_cast<uint64_t>(trial) + 1).NextU64();
+  TrialRun run;
+  run.result = RunTrialImpl(trial, seed, &run.error);
+  return run;
+}
+
+CampaignResult Campaign::Assemble(std::vector<TrialRun> runs) const {
   CampaignResult result;
   result.preset_name = std::string(PresetName(config_.preset));
+  result.recovery_name = std::string(RecoveryPolicyName(config_.recovery));
   result.trials = config_.trials;
   result.base_seed = config_.base_seed;
   result.duration = config_.duration;
 
-  const sim::Rng root(config_.base_seed);
-  for (int trial = 0; trial < config_.trials; ++trial) {
-    const uint64_t seed = root.Fork(static_cast<uint64_t>(trial) + 1).NextU64();
-    std::string error;
-    TrialResult tr = RunTrial(trial, seed, &error);
-    if (!error.empty()) {
-      char buf[160];
-      std::snprintf(buf, sizeof(buf), "trial %d: %s", trial, error.c_str());
-      result.error = buf;
-      return result;
+  for (size_t trial = 0; trial < runs.size(); ++trial) {
+    if (!runs[trial].error.empty()) {
+      // Built with std::string on purpose: long stream/fault diagnostics
+      // must survive into the report intact.
+      result.error = "trial " + std::to_string(trial) + ": " + runs[trial].error;
+      break;
     }
-    result.results.push_back(std::move(tr));
+    result.results.push_back(std::move(runs[trial].result));
+  }
+  result.trials_completed = static_cast<int>(result.results.size());
+  if (!result.ok()) {
+    // A failed campaign must not read as a perfect one: zero the
+    // optimistic "no evidence" defaults and skip aggregation entirely.
+    result.recall = 0.0;
+    result.hard_recall = 0.0;
+    result.precision = 0.0;
+    return result;
   }
 
   // Aggregate across trials from the per-fault outcomes.
   double detect_sum_ms = 0.0;
   double recover_sum_ms = 0.0;
-  int recovered_total = 0;
   for (const TrialResult& tr : result.results) {
     result.faults_total += tr.score.faults;
     result.detected_total += tr.score.detected;
@@ -116,7 +175,7 @@ CampaignResult Campaign::Run() {
       }
       if (outcome.recovered) {
         recover_sum_ms += static_cast<double>(outcome.recovery_latency.nanos()) / 1e6;
-        ++recovered_total;
+        ++result.recovered_total;
       }
     }
   }
@@ -134,13 +193,13 @@ CampaignResult Campaign::Run() {
   if (result.detected_total > 0) {
     result.mean_detection_latency_ms = detect_sum_ms / result.detected_total;
   }
-  if (recovered_total > 0) {
-    result.mean_recovery_ms = recover_sum_ms / recovered_total;
+  if (result.recovered_total > 0) {
+    result.mean_recovery_ms = recover_sum_ms / result.recovered_total;
   }
   return result;
 }
 
-TrialResult Campaign::RunTrial(int trial, uint64_t seed, std::string* error) {
+TrialResult Campaign::RunTrialImpl(int trial, uint64_t seed, std::string* error) const {
   TrialResult result;
   result.trial = trial;
   result.seed = seed;
@@ -183,9 +242,7 @@ TrialResult Campaign::RunTrial(int trial, uint64_t seed, std::string* error) {
     const auto src = ResolveEndpoint(host.server(), spec.src_kind, spec.src_index);
     const auto dst = ResolveEndpoint(host.server(), spec.dst_kind, spec.dst_index);
     if (!src || !dst) {
-      char buf[96];
-      std::snprintf(buf, sizeof(buf), "stream %zu: unresolvable endpoint", i);
-      *error = buf;
+      *error = "stream " + std::to_string(i) + ": unresolvable endpoint";
       return result;
     }
     char name[32];
@@ -200,10 +257,7 @@ TrialResult Campaign::RunTrial(int trial, uint64_t seed, std::string* error) {
       target.bandwidth = spec.slo;
       const manager::SubmitResult submitted = host.manager().SubmitIntent(tenant, target);
       if (!submitted.ok()) {
-        char buf[160];
-        std::snprintf(buf, sizeof(buf), "stream %zu: intent rejected: %s", i,
-                      submitted.error.c_str());
-        *error = buf;
+        *error = "stream " + std::to_string(i) + ": intent rejected: " + submitted.error;
         return result;
       }
       runtime.allocation = submitted.id;
@@ -343,36 +397,47 @@ TrialResult Campaign::RunTrial(int trial, uint64_t seed, std::string* error) {
         }
 
         // Recovery policy: signals (never ground truth) trigger the
-        // manager's re-placement and stream restarts onto fault-aware
+        // manager's re-placement and/or stream restarts onto fault-aware
         // routes — the honest "the platform caught and fixed it" loop.
         // Alarm closures re-run it so streams killed by a since-cleared
-        // fault come back once a route exists again.
-        if (config_.auto_repair && (new_signal || new_closure)) {
-          const std::vector<manager::AllocationId> repaired =
-              host.manager().RepairFaultedAllocations();
-          result.repairs += repaired.size();
-          for (StreamRuntime& runtime : streams) {
-            bool pinned_to_dead_path = false;
-            const auto info = host.fabric().GetFlowInfo(runtime.source->flow());
-            if (info && info->path != nullptr) {
-              for (const topology::DirectedLink& hop : info->path->hops) {
-                if (host.fabric().EffectiveCapacity(hop).IsZero()) {
-                  pinned_to_dead_path = true;
-                  break;
+        // fault come back once a route exists again. kNone detects but
+        // never acts (and never rebaselines): the status-quo baseline the
+        // sweep ranks the active policies against.
+        const bool repair_allocations =
+            config_.recovery == RecoveryPolicy::kRepair ||
+            config_.recovery == RecoveryPolicy::kRerouteOnly;
+        const bool restart_streams = config_.recovery == RecoveryPolicy::kRepair ||
+                                     config_.recovery == RecoveryPolicy::kRestartOnly;
+        if ((repair_allocations || restart_streams) && (new_signal || new_closure)) {
+          if (repair_allocations) {
+            const std::vector<manager::AllocationId> repaired =
+                host.manager().RepairFaultedAllocations();
+            result.repairs += repaired.size();
+          }
+          if (restart_streams) {
+            for (StreamRuntime& runtime : streams) {
+              bool pinned_to_dead_path = false;
+              const auto info = host.fabric().GetFlowInfo(runtime.source->flow());
+              if (info && info->path != nullptr) {
+                for (const topology::DirectedLink& hop : info->path->hops) {
+                  if (host.fabric().EffectiveCapacity(hop).IsZero()) {
+                    pinned_to_dead_path = true;
+                    break;
+                  }
                 }
+              } else {
+                pinned_to_dead_path = true;  // Never started (or flow gone).
               }
-            } else {
-              pinned_to_dead_path = true;  // Never started (or flow gone).
-            }
-            if (!pinned_to_dead_path) {
-              continue;
-            }
-            runtime.source->Stop();
-            runtime.source->Start();
-            ++result.stream_restarts;
-            if (runtime.allocation != manager::kInvalidAllocation &&
-                runtime.source->flow() != fabric::kInvalidFlow) {
-              host.manager().AttachFlow(runtime.allocation, runtime.source->flow());
+              if (!pinned_to_dead_path) {
+                continue;
+              }
+              runtime.source->Stop();
+              runtime.source->Start();
+              ++result.stream_restarts;
+              if (runtime.allocation != manager::kInvalidAllocation &&
+                  runtime.source->flow() != fabric::kInvalidFlow) {
+                host.manager().AttachFlow(runtime.allocation, runtime.source->flow());
+              }
             }
           }
           // Acknowledge-and-rebaseline: EwmaDetector deliberately keeps

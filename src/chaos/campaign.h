@@ -18,10 +18,12 @@
 #ifndef MIHN_SRC_CHAOS_CAMPAIGN_H_
 #define MIHN_SRC_CHAOS_CAMPAIGN_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/anomaly/heartbeat.h"
+#include "src/chaos/executor.h"
 #include "src/chaos/fault_schedule.h"
 #include "src/chaos/scorer.h"
 #include "src/host/host_network.h"
@@ -29,6 +31,20 @@
 #include "src/sim/units.h"
 
 namespace mihn::chaos {
+
+// What the campaign tick does when the anomaly stack raises a signal (or
+// an alarm closure re-opens a routing option). The sweep front-end crosses
+// these against fault grids, so "which recovery policy wins under which
+// faults" is a one-command experiment.
+enum class RecoveryPolicy {
+  kRepair,       // Manager re-placement AND dead-path stream restarts.
+  kRerouteOnly,  // Manager re-placement of faulted allocations only.
+  kRestartOnly,  // Dead-path stream restarts only.
+  kNone,         // Detect but never act (the paper's status-quo baseline).
+};
+
+std::string_view RecoveryPolicyName(RecoveryPolicy policy);
+std::optional<RecoveryPolicy> ParseRecoveryPolicy(std::string_view name);
 
 // One tenant stream, symbolic endpoints: component |src_index| of
 // |src_kind| in the preset's construction order (nic 0, gpu 1, ...).
@@ -65,9 +81,8 @@ struct CampaignConfig {
   // Periodic MisconfigChecker sweep; findings beyond the trial's baseline
   // set signal once per appearance.
   bool enable_misconfig_check = true;
-  // On any new signal: manager.RepairFaultedAllocations() + restart of
-  // streams whose flow is pinned to a dead path.
-  bool auto_repair = true;
+  // Recovery action taken on new signals (and on alarm closures).
+  RecoveryPolicy recovery = RecoveryPolicy::kRepair;
   Scorer::Config scoring;
   std::vector<StreamSpec> streams;
   FaultSchedule schedule;
@@ -91,7 +106,11 @@ struct TrialResult {
 
 struct CampaignResult {
   std::string preset_name;
+  std::string recovery_name;
   int trials = 0;
+  // Trials that ran to completion; < trials when a trial's setup failed
+  // (results then holds exactly the completed trials before the failure).
+  int trials_completed = 0;
   uint64_t base_seed = 0;
   sim::TimeNs duration;
   std::vector<TrialResult> results;
@@ -103,6 +122,7 @@ struct CampaignResult {
   int hard_detected_total = 0;
   int true_positives_total = 0;
   int false_positives_total = 0;
+  int recovered_total = 0;
   double recall = 1.0;
   double hard_recall = 1.0;
   double precision = 1.0;
@@ -110,22 +130,45 @@ struct CampaignResult {
   double mean_recovery_ms = 0.0;
 
   // Non-empty when setup failed (unresolvable fault reference, rejected
-  // SLO intent, bad stream endpoint); results are then partial.
+  // SLO intent, bad stream endpoint); results are then partial and every
+  // aggregate above is zeroed — a broken campaign must never read as a
+  // perfect run.
   std::string error;
   bool ok() const { return error.empty(); }
+};
+
+// One trial's outcome as produced by Campaign::RunTrial: either a result
+// or a setup error (in which case |result| is meaningless).
+struct TrialRun {
+  TrialResult result;
+  std::string error;
 };
 
 class Campaign {
  public:
   explicit Campaign(CampaignConfig config);
 
-  // Runs every trial and aggregates. Deterministic; no wall-clock reads.
+  // Runs every trial serially and aggregates. Deterministic; no
+  // wall-clock reads.
   CampaignResult Run();
+
+  // Same campaign, trials fanned over |executor|'s pool. Trials isolate
+  // all state in fresh owned-clock HostNetworks and results merge in
+  // strict trial order, so the report is byte-identical to Run() at any
+  // worker count (tests/chaos/executor_test.cc holds this bar).
+  CampaignResult Run(TrialExecutor& executor);
+
+  // Building blocks for the sweep's flattened (cell, trial) fan-out.
+  // RunTrial executes one Fork-seeded trial in isolation; Assemble merges
+  // per-trial runs in strict index order, truncating at the first trial
+  // error, and computes the aggregates.
+  TrialRun RunTrial(int trial) const;
+  CampaignResult Assemble(std::vector<TrialRun> runs) const;
 
   const CampaignConfig& config() const { return config_; }
 
  private:
-  TrialResult RunTrial(int trial, uint64_t seed, std::string* error);
+  TrialResult RunTrialImpl(int trial, uint64_t seed, std::string* error) const;
 
   CampaignConfig config_;
 };

@@ -1,5 +1,6 @@
 #include "src/chaos/campaign_file.h"
 
+#include <charconv>
 #include <cstdio>
 #include <fstream>
 #include <optional>
@@ -40,19 +41,6 @@ std::optional<topology::LinkKind> ParseLinkKind(const std::string& name) {
     if (name == topology::LinkKindName(kind)) {
       return kind;
     }
-  }
-  return std::nullopt;
-}
-
-std::optional<HostNetwork::Preset> ParsePreset(const std::string& name) {
-  if (name == "commodity_two_socket") {
-    return HostNetwork::Preset::kCommodityTwoSocket;
-  }
-  if (name == "dgx_class") {
-    return HostNetwork::Preset::kDgxClass;
-  }
-  if (name == "edge_node") {
-    return HostNetwork::Preset::kEdgeNode;
   }
   return std::nullopt;
 }
@@ -166,6 +154,47 @@ bool ParseStream(std::istringstream& in, int line_no, CampaignConfig* config,
 
 }  // namespace
 
+bool ParseNonNegativeInt(std::string_view token, int* out) {
+  if (token.empty()) {
+    return false;
+  }
+  int value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value, 10);
+  if (ec != std::errc() || ptr != token.data() + token.size() || value < 0) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseUint64Value(std::string_view token, uint64_t* out) {
+  if (token.empty() || token.front() == '-' || token.front() == '+') {
+    return false;
+  }
+  uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value, 10);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+std::optional<HostNetwork::Preset> ParsePresetName(std::string_view name) {
+  if (name == "commodity_two_socket") {
+    return HostNetwork::Preset::kCommodityTwoSocket;
+  }
+  if (name == "dgx_class") {
+    return HostNetwork::Preset::kDgxClass;
+  }
+  if (name == "edge_node") {
+    return HostNetwork::Preset::kEdgeNode;
+  }
+  return std::nullopt;
+}
+
 bool ParseCampaignText(std::string_view text, CampaignConfig* config,
                        std::string* error) {
   std::istringstream lines{std::string(text)};
@@ -187,11 +216,23 @@ bool ParseCampaignText(std::string_view text, CampaignConfig* config,
       if (!(in >> name)) {
         return Fail(error, line_no, "preset: missing name");
       }
-      const std::optional<HostNetwork::Preset> preset = ParsePreset(name);
+      const std::optional<HostNetwork::Preset> preset = ParsePresetName(name);
       if (!preset) {
         return Fail(error, line_no, "unknown preset '" + name + "'");
       }
       config->preset = *preset;
+    } else if (directive == "recovery") {
+      std::string name;
+      if (!(in >> name)) {
+        return Fail(error, line_no, "recovery: missing policy name");
+      }
+      const std::optional<RecoveryPolicy> policy = ParseRecoveryPolicy(name);
+      if (!policy) {
+        return Fail(error, line_no,
+                    "unknown recovery policy '" + name +
+                        "' (want repair, reroute_only, restart_only, or none)");
+      }
+      config->recovery = *policy;
     } else if (directive == "trials") {
       if (!(in >> config->trials) || config->trials < 1) {
         return Fail(error, line_no, "trials: want a positive count");

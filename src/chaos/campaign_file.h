@@ -11,6 +11,7 @@
 //   telemetry_us 1000
 //   grace_ms 5
 //   convergence_ticks 3
+//   recovery repair                    # or reroute_only, restart_only, none
 //   stream <src_kind> <i> <dst_kind> <j> <demand_gbps> <slo_gbps> [ddio]
 //   fault kill     <link_kind> <i> <at_ms> <clear_ms>
 //   fault degrade  <link_kind> <i> <at_ms> <clear_ms> <capacity_factor>
@@ -26,12 +27,25 @@
 #ifndef MIHN_SRC_CHAOS_CAMPAIGN_FILE_H_
 #define MIHN_SRC_CHAOS_CAMPAIGN_FILE_H_
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 
 #include "src/chaos/campaign.h"
 
 namespace mihn::chaos {
+
+// Strict decimal parsers for CLI flags and grammar values: the entire
+// token must be base-10 digits (no sign, no trailing junk) and fit the
+// target type. Garbage like "3x", "-2", or "" returns false instead of
+// silently becoming 0 the way atoi/strtoull-without-endptr did.
+bool ParseNonNegativeInt(std::string_view token, int* out);
+bool ParseUint64Value(std::string_view token, uint64_t* out);
+
+// Canonical preset-name parsing ("commodity_two_socket", "dgx_class",
+// "edge_node"), shared by the campaign and sweep grammars.
+std::optional<HostNetwork::Preset> ParsePresetName(std::string_view name);
 
 // Parses |text| into |config| (on top of its current values, so callers
 // can pre-seed defaults). Returns false and sets |error| ("line N: ...")

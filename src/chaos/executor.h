@@ -1,0 +1,64 @@
+// Parallel trial execution for chaos campaigns and sweeps.
+//
+// Chaos trials are embarrassingly parallel: every trial isolates all of
+// its state in a fresh owned-clock Simulation + HostNetwork (plus its own
+// streams, injector, and anomaly stack), so N trials can fan out over a
+// core::WorkerPool and still produce byte-identical reports — provided
+// the per-trial results merge back in strict trial order, which is the
+// same determinism contract the fleet tick holds for hosts.
+//
+// TrialExecutor owns that pool and exposes the one shape the chaos layer
+// needs: map [0, n) through a function, results in index order. A width
+// of 0 or 1 runs inline on the calling thread with no pool and no
+// threads, which is also the reference path the determinism tests compare
+// pooled runs against.
+
+#ifndef MIHN_SRC_CHAOS_EXECUTOR_H_
+#define MIHN_SRC_CHAOS_EXECUTOR_H_
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "src/core/worker_pool.h"
+
+namespace mihn::chaos {
+
+class TrialExecutor {
+ public:
+  // |workers| <= 1: run inline (no pool). |clamp_to_hardware| mirrors
+  // WorkerPool: tests that must exercise real cross-thread execution on
+  // small machines pass false.
+  explicit TrialExecutor(int workers, bool clamp_to_hardware = true) {
+    if (workers > 1) {
+      pool_ = std::make_unique<core::WorkerPool>(workers, clamp_to_hardware);
+    }
+  }
+
+  // Effective width: 1 when inline, the pool's (possibly clamped)
+  // parallelism otherwise. Reports must never depend on this value.
+  int workers() const { return pool_ ? pool_->parallelism() : 1; }
+
+  // Runs fn(i) for every i in [0, n) — concurrently when a pool exists —
+  // and returns the results in strict index order. |fn| must be safe to
+  // call concurrently for distinct indices and must not re-enter Map.
+  template <typename Fn>
+  auto Map(size_t n, Fn&& fn) -> std::vector<std::invoke_result_t<Fn&, size_t>> {
+    if (pool_) {
+      return pool_->ParallelMap(n, fn);
+    }
+    std::vector<std::invoke_result_t<Fn&, size_t>> results(n);
+    for (size_t i = 0; i < n; ++i) {
+      results[i] = fn(i);
+    }
+    return results;
+  }
+
+ private:
+  std::unique_ptr<core::WorkerPool> pool_;
+};
+
+}  // namespace mihn::chaos
+
+#endif  // MIHN_SRC_CHAOS_EXECUTOR_H_

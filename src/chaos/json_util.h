@@ -1,0 +1,62 @@
+// Shared deterministic JSON scalar formatting for chaos reports.
+//
+// Campaign and sweep reports are byte-contracts: two runs of the same
+// config — at any worker count — must produce identical files. Every
+// number therefore goes through one fixed, locale-independent format
+// ("%.9g", mirroring obs/export.cc), every time is an integer nanosecond
+// count, and strings are escaped the same way everywhere.
+
+#ifndef MIHN_SRC_CHAOS_JSON_UTIL_H_
+#define MIHN_SRC_CHAOS_JSON_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace mihn::chaos::json {
+
+inline std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return std::string(buf);
+}
+
+inline std::string Int(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return std::string(buf);
+}
+
+inline std::string Escape(std::string_view s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+// Built with += rather than an operator+ chain: GCC 12 emits a spurious
+// -Wrestrict on the chained form when Escape is inlined (PR 105651).
+inline std::string Str(std::string_view s) {
+  std::string out = "\"";
+  out += Escape(s);
+  out += '"';
+  return out;
+}
+
+}  // namespace mihn::chaos::json
+
+#endif  // MIHN_SRC_CHAOS_JSON_UTIL_H_

@@ -1,48 +1,17 @@
 #include "src/chaos/report.h"
 
-#include <cstdio>
 #include <fstream>
 #include <sstream>
 
+#include "src/chaos/json_util.h"
 #include "src/topology/link.h"
 
 namespace mihn::chaos {
 namespace {
 
-// Fixed number format: deterministic, locale-independent (obs/export.cc).
-std::string Num(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.9g", v);
-  return std::string(buf);
-}
-
-std::string Int(int64_t v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
-  return std::string(buf);
-}
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        out += c;
-    }
-  }
-  return out;
-}
-
-std::string Str(std::string_view s) { return "\"" + JsonEscape(std::string(s)) + "\""; }
+using json::Int;
+using json::Num;
+using json::Str;
 
 void EmitOutcome(std::ostringstream& out, const FaultOutcome& o, const char* indent) {
   out << indent << "{\"fault_index\": " << o.fault.index
@@ -123,7 +92,9 @@ std::string CampaignReportJson(const CampaignResult& result) {
   std::ostringstream out;
   out << "{\n";
   out << "  \"preset\": " << Str(result.preset_name) << ",\n";
+  out << "  \"recovery\": " << Str(result.recovery_name) << ",\n";
   out << "  \"trials\": " << result.trials << ",\n";
+  out << "  \"trials_completed\": " << result.trials_completed << ",\n";
   out << "  \"base_seed\": " << Int(static_cast<int64_t>(result.base_seed)) << ",\n";
   out << "  \"duration_ns\": " << Int(result.duration.nanos()) << ",\n";
   out << "  \"ok\": " << (result.ok() ? "true" : "false") << ",\n";
@@ -145,6 +116,7 @@ std::string CampaignReportJson(const CampaignResult& result) {
   out << "    \"hard_detected\": " << result.hard_detected_total << ",\n";
   out << "    \"true_positives\": " << result.true_positives_total << ",\n";
   out << "    \"false_positives\": " << result.false_positives_total << ",\n";
+  out << "    \"recovered\": " << result.recovered_total << ",\n";
   out << "    \"recall\": " << Num(result.recall) << ",\n";
   out << "    \"hard_recall\": " << Num(result.hard_recall) << ",\n";
   out << "    \"precision\": " << Num(result.precision) << ",\n";

@@ -32,6 +32,7 @@
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -132,6 +133,24 @@ class WorkerPool {
       mu_.Wait(done_cv_);
     }
     body_ = nullptr;
+  }
+
+  // Runs fn(i) once for every i in [0, n) — concurrently across the same
+  // contiguous chunks as ParallelFor — and returns the results in strict
+  // index order. Each result is assigned into a pre-sized slot, so beyond
+  // the round barrier no synchronization is needed and the output vector
+  // is independent of parallelism(). The result type must be default-
+  // constructible and move-assignable; |fn| must be safe to call
+  // concurrently for distinct indices.
+  template <typename Fn>
+  auto ParallelMap(size_t n, Fn&& fn) -> std::vector<std::invoke_result_t<Fn&, size_t>> {
+    std::vector<std::invoke_result_t<Fn&, size_t>> results(n);
+    ParallelFor(n, [&results, &fn](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        results[i] = fn(i);
+      }
+    });
+    return results;
   }
 
  private:

@@ -154,6 +154,37 @@ TEST(CampaignTest, PermanentInterSocketKillRecoversViaReroute) {
   EXPECT_TRUE(trial.health.back().healthy);
 }
 
+// Recovery policies change what the manager *does*, never what the
+// detectors *see*: kNone still detects the kill but takes no action.
+TEST(CampaignTest, NonePolicyDetectsButNeverActs) {
+  CampaignConfig config = BaseConfig();
+  config.trials = 1;
+  config.recovery = RecoveryPolicy::kNone;
+  config.schedule.Kill(LinkKind::kInterSocket, 0, TimeNs::Millis(20));
+
+  Campaign campaign(config);
+  const CampaignResult result = campaign.Run();
+  ASSERT_TRUE(result.ok()) << result.error;
+  const TrialResult& trial = result.results[0];
+  EXPECT_FALSE(trial.signals.empty());  // Detection still fires...
+  EXPECT_EQ(trial.repairs, 0u);         // ...but nothing acts on it.
+  EXPECT_EQ(trial.stream_restarts, 0u);
+  EXPECT_EQ(result.recovery_name, "none");
+}
+
+TEST(CampaignTest, RestartOnlyPolicyNeverRepairsAllocations) {
+  CampaignConfig config = BaseConfig();
+  config.trials = 1;
+  config.recovery = RecoveryPolicy::kRestartOnly;
+  config.schedule.Kill(LinkKind::kInterSocket, 0, TimeNs::Millis(20));
+
+  Campaign campaign(config);
+  const CampaignResult result = campaign.Run();
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.results[0].repairs, 0u);
+  EXPECT_GT(result.results[0].stream_restarts, 0u);
+}
+
 TEST(CampaignTest, UnresolvableFaultFailsSetup) {
   CampaignConfig config = BaseConfig();
   config.schedule.Kill(LinkKind::kCxl, 0, TimeNs::Millis(10));  // No CXL links here.
@@ -161,6 +192,16 @@ TEST(CampaignTest, UnresolvableFaultFailsSetup) {
   const CampaignResult result = campaign.Run();
   EXPECT_FALSE(result.ok());
   EXPECT_NE(result.error.find("cxl"), std::string::npos);
+  // A failed campaign reports what actually happened: no completed trials,
+  // no optimistic default aggregates.
+  EXPECT_EQ(result.trials_completed, 0);
+  EXPECT_DOUBLE_EQ(result.recall, 0.0);
+  EXPECT_DOUBLE_EQ(result.hard_recall, 0.0);
+  EXPECT_DOUBLE_EQ(result.precision, 0.0);
+  const std::string json = CampaignReportJson(result);
+  EXPECT_NE(json.find("\"ok\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"error\""), std::string::npos);
+  EXPECT_NE(json.find("\"trials_completed\": 0"), std::string::npos);
 }
 
 TEST(CampaignTest, BadStreamEndpointFailsSetup) {
@@ -187,6 +228,8 @@ TEST(CampaignReportTest, JsonIsWellFormedAndStable) {
   EXPECT_EQ(json.front(), '{');
   EXPECT_EQ(json.back(), '\n');
   EXPECT_NE(json.find("\"preset\": \"commodity_two_socket\""), std::string::npos);
+  EXPECT_NE(json.find("\"recovery\": \"repair\""), std::string::npos);
+  EXPECT_NE(json.find("\"trials_completed\": 1"), std::string::npos);
   EXPECT_NE(json.find("\"aggregate\""), std::string::npos);
   EXPECT_NE(json.find("\"detection_latency_ns\""), std::string::npos);
   EXPECT_EQ(json.find("nan"), std::string::npos);

@@ -1,0 +1,154 @@
+// Parallel trial executor determinism: campaign reports must be
+// byte-identical across worker counts {0, 1, 2, 8} and against the serial
+// path, trial results must merge in strict trial order, and the
+// failed-campaign path must stay honest (and identical) under the pool.
+
+#include "src/chaos/executor.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/chaos/campaign.h"
+#include "src/chaos/report.h"
+
+namespace mihn::chaos {
+namespace {
+
+using sim::Bandwidth;
+using sim::TimeNs;
+using topology::ComponentKind;
+using topology::LinkKind;
+
+StreamSpec Stream(ComponentKind src_kind, int src_index, ComponentKind dst_kind,
+                  int dst_index, double demand_gbps, double slo_gbps) {
+  StreamSpec spec;
+  spec.src_kind = src_kind;
+  spec.src_index = src_index;
+  spec.dst_kind = dst_kind;
+  spec.dst_index = dst_index;
+  spec.demand = Bandwidth::Gbps(demand_gbps);
+  spec.slo = Bandwidth::Gbps(slo_gbps);
+  return spec;
+}
+
+CampaignConfig FaultyConfig(int trials) {
+  CampaignConfig config;
+  config.preset = HostNetwork::Preset::kCommodityTwoSocket;
+  config.trials = trials;
+  config.base_seed = 17;
+  config.duration = TimeNs::Millis(40);
+  config.streams = {Stream(ComponentKind::kNic, 0, ComponentKind::kCpuSocket, 1, 80, 64),
+                    Stream(ComponentKind::kNic, 1, ComponentKind::kCpuSocket, 0, 80, 64)};
+  config.schedule.Kill(LinkKind::kPcieSwitchUp, 0, TimeNs::Millis(10), TimeNs::Millis(20));
+  config.schedule.Kill(LinkKind::kInterSocket, 0, TimeNs::Millis(25));
+  return config;
+}
+
+TEST(TrialExecutorTest, MapPreservesIndexOrderAcrossThreads) {
+  TrialExecutor executor(8, /*clamp_to_hardware=*/false);
+  constexpr size_t kN = 129;
+  const std::vector<std::string> results = executor.Map(kN, [](size_t i) {
+    // Skew the per-item cost so chunks finish out of order.
+    std::string payload;
+    for (size_t j = 0; j < (i % 7) * 100; ++j) {
+      payload += 'x';
+    }
+    return std::to_string(i) + ":" + std::to_string(payload.size());
+  });
+  ASSERT_EQ(results.size(), kN);
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(results[i], std::to_string(i) + ":" + std::to_string((i % 7) * 100));
+  }
+}
+
+TEST(TrialExecutorTest, InlineWidthsRunWithoutAPool) {
+  TrialExecutor zero(0);
+  TrialExecutor one(1);
+  EXPECT_EQ(zero.workers(), 1);
+  EXPECT_EQ(one.workers(), 1);
+  EXPECT_EQ(zero.Map(4, [](size_t i) { return i * 2; }),
+            (std::vector<size_t>{0, 2, 4, 6}));
+}
+
+// The ctest determinism gate for the campaign executor: byte-identical
+// reports across worker counts {0, 1, 2, 8} and vs the serial Run() path.
+TEST(CampaignExecutorTest, ReportBytesIdenticalAcrossWorkerCounts) {
+  Campaign campaign(FaultyConfig(4));
+  const std::string serial = CampaignReportJson(campaign.Run());
+  ASSERT_FALSE(serial.empty());
+  for (const int workers : {0, 1, 2, 8}) {
+    TrialExecutor executor(workers, /*clamp_to_hardware=*/false);
+    const std::string pooled = CampaignReportJson(campaign.Run(executor));
+    EXPECT_EQ(pooled, serial) << "workers=" << workers;
+  }
+}
+
+TEST(CampaignExecutorTest, PooledRunMatchesTrialOrderMerge) {
+  // Run(executor) must equal assembling RunTrial(i) results in index
+  // order — the merge rule the sweep also relies on.
+  Campaign campaign(FaultyConfig(3));
+  std::vector<TrialRun> runs;
+  for (int trial = 0; trial < 3; ++trial) {
+    runs.push_back(campaign.RunTrial(trial));
+  }
+  const std::string assembled = CampaignReportJson(campaign.Assemble(std::move(runs)));
+  TrialExecutor executor(2, /*clamp_to_hardware=*/false);
+  EXPECT_EQ(CampaignReportJson(campaign.Run(executor)), assembled);
+}
+
+TEST(CampaignExecutorTest, FailedSetupIdenticalAcrossWorkerCountsAndHonest) {
+  CampaignConfig config = FaultyConfig(3);
+  config.streams.push_back(Stream(ComponentKind::kGpu, 99, ComponentKind::kCpuSocket, 0,
+                                  10, 0));  // Unresolvable endpoint.
+  Campaign campaign(config);
+  const CampaignResult serial = campaign.Run();
+  EXPECT_FALSE(serial.ok());
+  EXPECT_EQ(serial.trials, 3);
+  EXPECT_EQ(serial.trials_completed, 0);
+  EXPECT_TRUE(serial.results.empty());
+  // A broken campaign must not read as a perfect one.
+  EXPECT_DOUBLE_EQ(serial.recall, 0.0);
+  EXPECT_DOUBLE_EQ(serial.hard_recall, 0.0);
+  EXPECT_DOUBLE_EQ(serial.precision, 0.0);
+
+  const std::string serial_json = CampaignReportJson(serial);
+  EXPECT_NE(serial_json.find("\"ok\": false"), std::string::npos);
+  EXPECT_NE(serial_json.find("\"error\""), std::string::npos);
+  EXPECT_NE(serial_json.find("\"trials_completed\": 0"), std::string::npos);
+  for (const int workers : {2, 8}) {
+    TrialExecutor executor(workers, /*clamp_to_hardware=*/false);
+    EXPECT_EQ(CampaignReportJson(campaign.Run(executor)), serial_json)
+        << "workers=" << workers;
+  }
+}
+
+TEST(CampaignAssembleTest, TruncatesAtFirstErrorInTrialOrder) {
+  Campaign campaign(FaultyConfig(3));
+  std::vector<TrialRun> runs(3);
+  runs[0].result.trial = 0;
+  runs[1].error = "injected failure";
+  runs[2].result.trial = 2;
+  const CampaignResult result = campaign.Assemble(std::move(runs));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.error, "trial 1: injected failure");
+  EXPECT_EQ(result.trials_completed, 1);
+  ASSERT_EQ(result.results.size(), 1u);
+  EXPECT_EQ(result.results[0].trial, 0);
+}
+
+TEST(CampaignAssembleTest, LongTrialErrorsSurviveIntact) {
+  // Regression: Campaign::Run used to squeeze trial errors through a
+  // 160-byte snprintf buffer, truncating long stream/fault diagnostics.
+  Campaign campaign(FaultyConfig(1));
+  const std::string long_error(500, 'e');
+  std::vector<TrialRun> runs(1);
+  runs[0].error = long_error;
+  const CampaignResult result = campaign.Assemble(std::move(runs));
+  EXPECT_EQ(result.error, "trial 0: " + long_error);
+  EXPECT_NE(CampaignReportJson(result).find(long_error), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mihn::chaos

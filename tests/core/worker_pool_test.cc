@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <mutex>
 #include <set>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -107,6 +108,36 @@ TEST(WorkerPoolTest, ReusableAcrossManyRounds) {
     });
   }
   EXPECT_EQ(sum.load(), kRounds * (29L * 30L / 2));
+}
+
+TEST(WorkerPoolTest, ParallelMapReturnsResultsInIndexOrder) {
+  WorkerPool pool(8, /*clamp_to_hardware=*/false);
+  constexpr size_t kN = 257;  // Deliberately not a multiple of the width.
+  const std::vector<size_t> results =
+      pool.ParallelMap(kN, [](size_t i) { return i * i; });
+  ASSERT_EQ(results.size(), kN);
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(results[i], i * i) << "index " << i;
+  }
+}
+
+TEST(WorkerPoolTest, ParallelMapMatchesSerialForNonTrivialResults) {
+  // Move-only-ish payloads (strings) across a real pool must land in the
+  // same slots a serial loop fills.
+  const auto fn = [](size_t i) { return "item-" + std::to_string(i * 7); };
+  std::vector<std::string> serial(100);
+  for (size_t i = 0; i < serial.size(); ++i) {
+    serial[i] = fn(i);
+  }
+  WorkerPool pool(4, /*clamp_to_hardware=*/false);
+  EXPECT_EQ(pool.ParallelMap(serial.size(), fn), serial);
+}
+
+TEST(WorkerPoolTest, ParallelMapEmptyAndInline) {
+  WorkerPool pool(1);
+  EXPECT_TRUE(pool.ParallelMap(0, [](size_t i) { return i; }).empty());
+  const std::vector<size_t> one = pool.ParallelMap(3, [](size_t i) { return i + 1; });
+  EXPECT_EQ(one, (std::vector<size_t>{1, 2, 3}));
 }
 
 TEST(WorkerPoolTest, EmptyRangeIsANoop) {
